@@ -1,0 +1,113 @@
+"""Ablations beyond the paper's figures (DESIGN.md Section 7).
+
+These isolate the design choices the paper motivates but does not sweep:
+
+* fragment clustering inside Eblocks (Section 4.1) — without it every
+  edge carries its own auxiliary data and svertex read;
+* the switching interval Δt (Section 5.3, fixed to 2 in the paper);
+* range vs hash partitioning under VE-BLOCK — hash destroys the id
+  locality that keeps fragments per vertex low.
+"""
+
+from conftest import emit, once, run_cell
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+
+
+def test_ablation_fragment_clustering(benchmark):
+    def collect():
+        out = {}
+        for clustering in (True, False):
+            result = run_cell(
+                "wiki", lambda: PageRank(supersteps=5), "pagerank5",
+                "bpull", fragment_clustering=clustering,
+            )
+            out[clustering] = (
+                result.metrics.compute_seconds,
+                result.metrics.compute_io_bytes,
+                result.runtime.total_fragments(),
+            )
+        return out
+
+    data = once(benchmark, collect)
+    rows = [
+        ["clustered" if c else "one-per-edge",
+         f"{data[c][0]:.3f}", f"{data[c][1] / 1e6:.2f}",
+         f"{data[c][2]:,}"]
+        for c in (True, False)
+    ]
+    emit("ablation_clustering", format_table(
+        ["fragments", "runtime (s)", "io (MB)", "fragment count"],
+        rows, title="Ablation: fragment clustering (PageRank over wiki)",
+    ))
+    # disabling clustering inflates fragments to |E| and with them the
+    # auxiliary-data reads and random svertex-value reads
+    assert data[False][2] > data[True][2]
+    assert data[False][1] > data[True][1]
+    assert data[False][0] > data[True][0]
+
+
+def test_ablation_switching_interval(benchmark):
+    def collect():
+        out = {}
+        for interval in (1, 2, 4, 8):
+            result = run_cell(
+                "twi", lambda: SSSP(source=0), "sssp0", "hybrid",
+                switching_interval=interval,
+            )
+            trace = result.metrics.mode_trace
+            switch_steps = [
+                idx + 1 for idx, m in enumerate(trace) if "->" in m
+            ]
+            out[interval] = (result.metrics.compute_seconds, switch_steps)
+        return out
+
+    data = once(benchmark, collect)
+    rows = [
+        [interval, f"{runtime:.3f}", len(switches),
+         ",".join(map(str, switches))]
+        for interval, (runtime, switches) in sorted(data.items())
+    ]
+    emit("ablation_interval", format_table(
+        ["Δt", "runtime (s)", "switches", "at supersteps"], rows,
+        title="Ablation: switching interval (SSSP over twi, hybrid)",
+    ))
+    # a longer interval reacts later: the first switch can only move
+    # later in the run as Δt grows (Section 5.3's accuracy ∝ 1/Δt).
+    first_switch = [
+        (data[i][1][0] if data[i][1] else 10**9) for i in (1, 2, 4, 8)
+    ]
+    assert all(a <= b for a, b in zip(first_switch, first_switch[1:]))
+
+
+def test_ablation_partitioning(benchmark):
+    def collect():
+        out = {}
+        for partition in ("range", "hash"):
+            result = run_cell(
+                "wiki", lambda: PageRank(supersteps=5), "pagerank5",
+                "bpull", partition=partition,
+            )
+            out[partition] = (
+                result.metrics.compute_seconds,
+                result.runtime.total_fragments(),
+                result.metrics.total_net_bytes,
+            )
+        return out
+
+    data = once(benchmark, collect)
+    rows = [
+        [p, f"{data[p][0]:.3f}", f"{data[p][1]:,}",
+         f"{data[p][2] / 1e6:.2f}"]
+        for p in ("range", "hash")
+    ]
+    emit("ablation_partitioning", format_table(
+        ["partitioning", "runtime (s)", "fragments", "net (MB)"],
+        rows, title="Ablation: range vs hash partitioning "
+                    "(PageRank over wiki, b-pull)",
+    ))
+    # hash partitioning scatters neighbors across blocks and workers:
+    # more fragments and more network traffic
+    assert data["hash"][1] > data["range"][1]
+    assert data["hash"][2] > data["range"][2]

@@ -1,0 +1,125 @@
+"""Appendix F / Table 5 — the GraphLab PowerGraph disk extension.
+
+Five scenarios of the pull baseline over the three small graphs:
+
+* ``original``      — stock PowerGraph, all data in memory;
+* ``ext-mem``       — the disk extension with everything still memory
+                      resident (validates the extension adds ~nothing);
+* ``ext-edge``      — edges on disk, vertices in memory;
+* ``ext-edge-v3``   — edges on disk, vertices behind an LRU cache that
+                      (just) fits the working set;
+* ``ext-edge-v2.5`` — the cache shrunk by the paper's 2.5/3 ratio, now
+                      *below* the working set.
+
+The paper's absolute 3M / 2.5M per-task capacities happened to bracket
+the per-task working set (local vertices + vertex-cut mirrors) of all
+three graphs; our stand-ins have different replication factors, so the
+capacities are derived by bracketing the *measured* working set the same
+way — preserving the phenomenon Table 5 demonstrates: runtime is fine
+while the cache holds the working set and collapses as soon as it does
+not (654 s vs 4.5 s for PageRank/livej at full scale).
+"""
+
+import pytest
+
+from conftest import emit, once, run_cell
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+
+GRAPHS = ("livej", "wiki", "orkut")
+
+ALGOS = {
+    "pagerank": (lambda: PageRank(supersteps=5), "pagerank5"),
+    "sssp": (lambda: SSSP(source=0), "sssp0"),
+    "lpa": (lambda: LPA(supersteps=5), "lpa5"),
+    "sa": (lambda: SA(num_sources=3), "sa3"),
+}
+
+_working_set_cache = {}
+
+
+def working_set(graph, algo):
+    """Max per-worker distinct cache entries (locals + mirrors).
+
+    Measured by running the same algorithm once with an effectively
+    unbounded cache and reading how many entries it accumulated.
+    """
+    if (graph, algo) not in _working_set_cache:
+        factory, key = ALGOS[algo]
+        result = run_cell(graph, factory, f"{key}_ws", "pull",
+                          graph_on_disk=True,
+                          lru_capacity_vertices=10**9,
+                          message_buffer_per_worker=None)
+        _working_set_cache[(graph, algo)] = max(
+            w.vertex_cache.resident for w in result.runtime.workers
+        )
+    return _working_set_cache[(graph, algo)]
+
+
+def scenarios_for(graph, algo):
+    fits = int(working_set(graph, algo) * 1.02)
+    thrashes = int(fits * 2.5 / 3.0)
+    return {
+        "original": dict(graph_on_disk=False,
+                         message_buffer_per_worker=None),
+        "ext-mem": dict(graph_on_disk=False,
+                        message_buffer_per_worker=None),
+        "ext-edge": dict(graph_on_disk=True,
+                         vertices_on_disk_for_pull=False,
+                         message_buffer_per_worker=None),
+        "ext-edge-v3": dict(graph_on_disk=True,
+                            lru_capacity_vertices=fits,
+                            message_buffer_per_worker=None),
+        "ext-edge-v2.5": dict(graph_on_disk=True,
+                              lru_capacity_vertices=thrashes,
+                              message_buffer_per_worker=None),
+    }
+
+
+SCENARIOS = ("original", "ext-mem", "ext-edge", "ext-edge-v3",
+             "ext-edge-v2.5")
+
+
+def collect(algo):
+    factory, key = ALGOS[algo]
+    out = {}
+    for graph in GRAPHS:
+        for scenario, overrides in scenarios_for(graph, algo).items():
+            result = run_cell(graph, factory, f"{key}_{scenario}", "pull",
+                              **overrides)
+            out[(graph, scenario)] = result.metrics.compute_seconds
+    return out
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_table5_scenarios(algo, benchmark):
+    data = once(benchmark, lambda: collect(algo))
+    rows = []
+    for scenario in SCENARIOS:
+        rows.append([scenario] + [
+            f"{data[(graph, scenario)]:.3f}" for graph in GRAPHS
+        ])
+    emit(f"table5_{algo}", format_table(
+        ["scenario"] + list(GRAPHS), rows,
+        title=f"Table 5 runtime (modeled s) of modified GraphLab, {algo}",
+    ))
+    for graph in GRAPHS:
+        original = data[(graph, "original")]
+        ext_mem = data[(graph, "ext-mem")]
+        ext_edge = data[(graph, "ext-edge")]
+        v3 = data[(graph, "ext-edge-v3")]
+        v25 = data[(graph, "ext-edge-v2.5")]
+        # the extension itself is free when memory suffices
+        assert ext_mem == pytest.approx(original), graph
+        # edges-on-disk costs a bit; vertex caching costs more
+        assert ext_edge >= original, graph
+        assert v3 >= ext_edge, graph
+        # the cliff: the smaller cache thrashes, the larger one keeps
+        # the working set (Table 5's 654s vs 4.5s row).  SA's frontier
+        # moves, so its re-access loop — and with it the thrash factor —
+        # is milder than for the algorithms that sweep every vertex.
+        cliff = 1.5 if algo == "sa" else 2.0
+        assert v25 > cliff * v3, graph

@@ -1,0 +1,129 @@
+"""Figs. 8 and 10 — limited memory on the HDD cluster.
+
+The flagship comparison: all six graphs, four algorithms, five engines,
+graph data on disk and per-worker message buffers at the paper's scaled
+B_i.  Fig. 8 reports runtime, Fig. 10 the total I/O bytes of the
+iterations; both come from the same runs (cached by conftest).
+
+Expected shapes (Section 6.1):
+
+* pull is the worst by a wide margin — random, repeated svertex reads;
+* push pays for spilled messages; pushM lands in between;
+* b-pull/hybrid win overall — up to an order of magnitude over push on
+  PageRank over the biggest graph;
+* exception: SSSP over the skewed, low-locality twi, where fragment
+  overheads make b-pull's I/O *exceed* push's (Fig. 10's observation)
+  and hybrid has to switch to stay competitive.
+"""
+
+import pytest
+
+from conftest import QUICK, emit, once, run_cell
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+
+GRAPHS = ("wiki", "twi") if QUICK else (
+    "livej", "wiki", "orkut", "twi", "fri", "uk"
+)
+
+ALGOS = {
+    "pagerank": (lambda: PageRank(supersteps=5), "pagerank5",
+                 ("push", "pushm", "pull", "bpull", "hybrid")),
+    "sssp": (lambda: SSSP(source=0), "sssp0",
+             ("push", "pushm", "pull", "bpull", "hybrid")),
+    "lpa": (lambda: LPA(supersteps=5), "lpa5",
+            ("push", "pull", "bpull", "hybrid")),
+    "sa": (lambda: SA(num_sources=3), "sa3",
+           ("push", "pull", "bpull", "hybrid")),
+}
+
+
+def run_panel(algo):
+    factory, key, modes = ALGOS[algo]
+    runtimes = {}
+    io_bytes = {}
+    for graph in GRAPHS:
+        for mode in modes:
+            result = run_cell(graph, factory, key, mode)
+            runtimes[(graph, mode)] = result.metrics.compute_seconds
+            io_bytes[(graph, mode)] = result.metrics.compute_io_bytes
+    return runtimes, io_bytes, modes
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_fig08_runtime(algo, benchmark):
+    runtimes, _io, modes = once(benchmark, lambda: run_panel(algo))
+    rows = [
+        [graph] + [f"{runtimes[(graph, mode)]:.3f}" for mode in modes]
+        for graph in GRAPHS
+    ]
+    emit(f"fig08_{algo}", format_table(
+        ["graph"] + list(modes), rows,
+        title=(f"Fig. 8 runtime of {algo} (modeled s), limited memory, "
+               "HDD cluster"),
+    ))
+    for graph in GRAPHS:
+        pull = runtimes[(graph, "pull")]
+        push = runtimes[(graph, "push")]
+        bpull = runtimes[(graph, "bpull")]
+        hybrid = runtimes[(graph, "hybrid")]
+        # pull collapses under random vertex reads
+        assert pull > 2.0 * min(push, bpull), (algo, graph)
+        # hybrid never loses to the worse fixed transport, and stays
+        # within a small factor of the better one (its losses are the
+        # Theorem 2 initial mode plus the Δt=2 predictor lag, both of
+        # which the paper also pays).
+        assert hybrid <= max(push, bpull) * 1.05, (algo, graph)
+        assert hybrid <= 3.0 * min(push, bpull), (algo, graph)
+        if algo in ("pagerank", "lpa"):
+            # broadcast workloads: b-pull decisively beats push
+            assert bpull < push, (algo, graph)
+
+
+def test_fig08_headline_speedups(benchmark):
+    """The paper's headline: PageRank over uk, b-pull/hybrid vs push."""
+    if QUICK:
+        pytest.skip("uk excluded in quick mode")
+    runtimes, _io, _modes = once(benchmark, lambda: run_panel("pagerank"))
+    speedup = runtimes[("uk", "push")] / runtimes[("uk", "hybrid")]
+    pushm_speedup = runtimes[("uk", "pushm")] / runtimes[("uk", "hybrid")]
+    print(f"\nPageRank/uk speedups: hybrid vs push {speedup:.1f}x, "
+          f"vs pushM {pushm_speedup:.1f}x "
+          "(paper: up to 35x / 16x at full scale)")
+    assert speedup > 5.0
+    assert pushm_speedup > 2.0
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_fig10_io_bytes(algo, benchmark):
+    _runtimes, io_bytes, modes = once(benchmark, lambda: run_panel(algo))
+    rows = [
+        [graph] + [
+            f"{io_bytes[(graph, mode)] / 1e6:.2f}" for mode in modes
+        ]
+        for graph in GRAPHS
+    ]
+    emit(f"fig10_{algo}", format_table(
+        ["graph"] + list(modes), rows,
+        title=(f"Fig. 10 I/O bytes of {algo} (MB), limited memory, "
+               "HDD cluster"),
+    ))
+    for graph in GRAPHS:
+        # pull's I/O volume dwarfs everything else
+        assert io_bytes[(graph, "pull")] > io_bytes[(graph, "bpull")]
+        assert io_bytes[(graph, "pull")] > io_bytes[(graph, "push")]
+    if algo == "sssp" and "twi" in GRAPHS:
+        # Fig. 10(b): on twi, fragment and svertex overheads erase
+        # b-pull's I/O advantage — it exceeds pushM's I/O and closes
+        # most of the gap to push (which is why hybrid switches there).
+        assert (io_bytes[("twi", "bpull")]
+                > io_bytes[("twi", "pushm")])
+        twi_ratio = (io_bytes[("twi", "bpull")]
+                     / io_bytes[("twi", "push")])
+        wiki_ratio = (io_bytes[("wiki", "bpull")]
+                      / io_bytes[("wiki", "push")])
+        assert twi_ratio > wiki_ratio
+        assert twi_ratio > 0.6

@@ -1,0 +1,118 @@
+"""Figs. 11-13 — accuracy of the persistence predictor (Section 5.3).
+
+The switcher predicts superstep t+2's metrics with the values measured
+at superstep t (Shang & Yu).  These figures report, per superstep, the
+ratio predicted/actual for the three Q_t inputs:
+
+* Fig. 11: M_co   (concatenated/combined message savings, from b-pull),
+* Fig. 12: C_io(push)   (Eq. 7, from a push run),
+* Fig. 13: C_io(b-pull) (Eq. 8, from a b-pull run).
+
+Expected shapes: C_io(push) is very accurate (block-granular edge reads
+damp frontier noise), C_io(b-pull) even more so (no message I/O term);
+M_co and SA in general are noisy — SA's active set jumps around the
+middle supersteps.
+"""
+
+import pytest
+
+from conftest import QUICK, emit, once, run_cell
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.analysis.costmodel import cio_bpull_of, cio_push_of
+from repro.analysis.reporting import format_table
+
+GRAPHS = ("wiki", "twi") if QUICK else (
+    "livej", "wiki", "orkut", "twi", "fri", "uk"
+)
+
+ALGOS = {
+    "sssp": (lambda: SSSP(source=0), "sssp0"),
+    "sa": (lambda: SA(num_sources=3), "sa3"),
+}
+
+INTERVAL = 2
+SHOW = 16  # supersteps displayed, like the paper's x-axis
+
+
+def ratios(series):
+    """predicted (value at t) / actual (value at t+Δt), skipping 0/0."""
+    out = []
+    for t in range(len(series) - INTERVAL):
+        predicted, actual = series[t], series[t + INTERVAL]
+        if actual == 0:
+            out.append(None)
+        else:
+            out.append(predicted / actual)
+    return out
+
+
+def collect(algo):
+    factory, key = ALGOS[algo]
+    mco = {}
+    cio_push = {}
+    cio_bpull = {}
+    for graph in GRAPHS:
+        bpull_run = run_cell(graph, factory, key, "bpull")
+        push_run = run_cell(graph, factory, key, "push")
+        mco[graph] = ratios([s.mco for s in bpull_run.metrics.supersteps])
+        cio_push[graph] = ratios(
+            [cio_push_of(s) for s in push_run.metrics.supersteps]
+        )
+        cio_bpull[graph] = ratios(
+            [cio_bpull_of(s) for s in bpull_run.metrics.supersteps]
+        )
+    return mco, cio_push, cio_bpull
+
+
+def table_for(name, data):
+    rows = []
+    for graph in GRAPHS:
+        series = data[graph][:SHOW]
+        rows.append([graph] + [
+            "-" if r is None else f"{r:.2f}" for r in series
+        ])
+    headers = ["graph"] + [f"t{t + 1}" for t in range(SHOW)]
+    return format_table(headers, rows,
+                        title=f"{name}: predicted/actual per superstep")
+
+
+def spread(data):
+    """Mean absolute log-deviation from a perfect ratio of 1."""
+    import math
+
+    devs = [
+        abs(math.log(r))
+        for series in data.values()
+        for r in series
+        if r is not None and r > 0
+    ]
+    return sum(devs) / len(devs) if devs else 0.0
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_fig11_12_13_prediction(algo, benchmark):
+    mco, cio_push, cio_bpull = once(benchmark, lambda: collect(algo))
+    emit(f"fig11_mco_{algo}", table_for(f"Fig. 11 Mco ({algo})", mco))
+    emit(f"fig12_cio_push_{algo}",
+         table_for(f"Fig. 12 Cio(push) ({algo})", cio_push))
+    emit(f"fig13_cio_bpull_{algo}",
+         table_for(f"Fig. 13 Cio(b-pull) ({algo})", cio_bpull))
+    # the paper's accuracy ordering: Cio(b-pull) ~ Cio(push) >> Mco
+    assert spread(cio_bpull) <= spread(mco) * 1.1, algo
+    assert spread(cio_push) <= spread(mco) * 1.1, algo
+
+
+def test_sa_noisier_than_sssp(benchmark):
+    def collect_spreads():
+        out = {}
+        for algo in ("sssp", "sa"):
+            mco, _p, _b = collect(algo)
+            out[algo] = spread(mco)
+        return out
+
+    spreads = once(benchmark, collect_spreads)
+    print(f"\nMco prediction dispersion: sssp={spreads['sssp']:.3f} "
+          f"sa={spreads['sa']:.3f}")
+    # SA's sudden active-set jumps make its predictions worse (Fig. 11b)
+    assert spreads["sa"] > spreads["sssp"]

@@ -1,0 +1,131 @@
+"""Fig. 14 — dissecting hybrid during iterations (SSSP over twi).
+
+Per-superstep traces of the performance metric Q_t, disk I/O, network
+messages, and memory usage for push, b-pull, and hybrid, on both
+hardware profiles.
+
+Expected shapes:
+
+* Q_t changes sign during the run (the b-pull-friendly middle, the
+  push-friendly tail), and the *sign pattern* is hardware-independent —
+  it is dominated by C_io(push) - C_io(b-pull), which depends only on
+  the graph topology and the algorithm (Section 6.2);
+* |Q_t| is larger on the HDD cluster — the expected switching gain
+  shrinks on SSDs;
+* the b-pull -> push switch superstep shows a transient resource bump
+  (it pulls and pushes in the same superstep), quantified below.
+"""
+
+from conftest import emit, once, run_cell
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+from repro.core.config import AMAZON_CLUSTER, LOCAL_CLUSTER
+
+DATASET = "twi"
+
+
+def collect():
+    runs = {}
+    for cluster in (LOCAL_CLUSTER, AMAZON_CLUSTER):
+        for mode in ("push", "bpull", "hybrid"):
+            runs[(cluster.name, mode)] = run_cell(
+                DATASET, lambda: SSSP(source=0), "sssp0", mode,
+                cluster=cluster,
+            )
+    return runs
+
+
+def sign_pattern(q_trace):
+    return [None if q is None else (q >= 0) for q in q_trace]
+
+
+def test_fig14a_qt_sign_hardware_independent(benchmark):
+    runs = once(benchmark, collect)
+    hdd = runs[("local", "hybrid")].metrics
+    ssd = runs[("amazon", "hybrid")].metrics
+    rows = []
+    for idx in range(min(len(hdd.q_trace), len(ssd.q_trace))):
+        qh, qs = hdd.q_trace[idx], ssd.q_trace[idx]
+        rows.append([
+            idx + 1,
+            hdd.mode_trace[idx],
+            "n/a" if qh is None else f"{qh:+.3e}",
+            "n/a" if qs is None else f"{qs:+.3e}",
+        ])
+    emit("fig14a_qt", format_table(
+        ["superstep", "mode (HDD run)", "Q_t HDD", "Q_t SSD"],
+        rows, title="Fig. 14(a) performance metric Q_t (SSSP over twi)",
+    ))
+    # "the switching points do not change" (Section 6.2): compare signs
+    # where the metric is significant — the near-zero early supersteps
+    # carry no decision weight on either hardware profile.
+    threshold = 0.01 * max(
+        abs(q) for q in hdd.q_trace if q is not None
+    )
+    significant = [
+        (qh >= 0, qs >= 0)
+        for qh, qs in zip(hdd.q_trace, ssd.q_trace)
+        if qh is not None and qs is not None and abs(qh) >= threshold
+    ]
+    assert significant, "expected significant Q_t samples"
+    agree = sum(1 for a, b in significant if a == b)
+    assert agree == len(significant), significant
+    signs = [s for s in sign_pattern(hdd.q_trace) if s is not None]
+    assert True in signs and False in signs, "Q_t must change sign"
+    # |Q_t| larger on HDD whenever the metric is nonzero
+    pairs = [
+        (abs(qh), abs(qs))
+        for qh, qs in zip(hdd.q_trace, ssd.q_trace)
+        if qh is not None and qs is not None and qh != 0
+    ]
+    bigger = sum(1 for h, s in pairs if h >= s)
+    assert bigger >= 0.9 * len(pairs)
+
+
+def test_fig14bcd_resource_traces(benchmark):
+    runs = once(benchmark, collect)
+    rows = []
+    traces = {
+        mode: runs[("local", mode)].metrics
+        for mode in ("push", "bpull", "hybrid")
+    }
+    depth = max(m.num_supersteps for m in traces.values())
+    for t in range(depth):
+        row = [t + 1]
+        for mode in ("push", "bpull", "hybrid"):
+            steps = traces[mode].supersteps
+            if t < len(steps):
+                s = steps[t]
+                row += [f"{s.io.total / 1e6:.2f}",
+                        f"{s.net_transfer_units}",
+                        f"{s.memory_bytes / 1e3:.0f}"]
+            else:
+                row += ["-", "-", "-"]
+        rows.append(row)
+    emit("fig14bcd_resources", format_table(
+        ["t", "push io(MB)", "push #msg", "push mem(KB)",
+         "bpull io(MB)", "bpull #msg", "bpull mem(KB)",
+         "hyb io(MB)", "hyb #msg", "hyb mem(KB)"],
+        rows,
+        title="Fig. 14(b-d) I/O, network messages, memory per superstep",
+    ))
+    hybrid = traces["hybrid"]
+    switches = [
+        idx for idx, mode in enumerate(hybrid.mode_trace)
+        if mode == "bpull->push"
+    ]
+    if switches:
+        # the switch superstep does extra work: pulls + pushes at once
+        idx = switches[0]
+        switch_io = hybrid.supersteps[idx].io.total
+        neighbors = [
+            hybrid.supersteps[j].io.total
+            for j in (idx - 1, idx + 1)
+            if 0 <= j < len(hybrid.supersteps)
+        ]
+        assert switch_io >= max(neighbors) * 0.5
+
+    # hybrid metadata keeps VE-BLOCK resident even while pushing
+    push_mem = max(s.memory_bytes for s in traces["push"].supersteps)
+    hybrid_mem = max(s.memory_bytes for s in hybrid.supersteps)
+    assert hybrid_mem >= push_mem

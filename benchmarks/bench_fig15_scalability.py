@@ -1,0 +1,65 @@
+"""Fig. 15 — scalability: runtime vs number of computational nodes.
+
+PageRank in limited memory with pushM and hybrid, shrinking the cluster
+from 30 to 10 nodes (the per-worker buffer B_i stays fixed, so fewer
+nodes = more data and less total buffer per node — the paper's setup).
+
+Expected shape: pushM degrades super-linearly as nodes are removed
+(message spill explodes), hybrid sub-linearly (VE-BLOCK reads just grow
+proportionally).
+"""
+
+import pytest
+
+from conftest import QUICK, emit, once, run_cell
+from repro.algorithms.pagerank import PageRank
+from repro.analysis.reporting import format_table
+
+GRAPHS = ("twi",) if QUICK else ("twi", "fri", "uk")
+WORKERS = (10, 15, 20, 25, 30)
+
+
+def collect():
+    out = {}
+    for graph in GRAPHS:
+        for mode in ("pushm", "hybrid"):
+            for workers in WORKERS:
+                result = run_cell(
+                    graph, lambda: PageRank(supersteps=5), "pagerank5",
+                    mode, num_workers=workers,
+                )
+                out[(graph, mode, workers)] = (
+                    result.metrics.compute_seconds
+                )
+    return out
+
+
+def test_fig15_scalability(benchmark):
+    data = once(benchmark, collect)
+    for mode in ("pushm", "hybrid"):
+        rows = [
+            [graph] + [
+                f"{data[(graph, mode, w)]:.3f}" for w in WORKERS
+            ]
+            for graph in GRAPHS
+        ]
+        emit(f"fig15_{mode}", format_table(
+            ["graph"] + [f"{w} nodes" for w in WORKERS], rows,
+            title=f"Fig. 15 {mode} runtime (modeled s) vs cluster size "
+                  "(PageRank, limited memory)",
+        ))
+    for graph in GRAPHS:
+        pushm_blowup = (
+            data[(graph, "pushm", 10)] / data[(graph, "pushm", 30)]
+        )
+        hybrid_blowup = (
+            data[(graph, "hybrid", 10)] / data[(graph, "hybrid", 30)]
+        )
+        linear = 30 / 10
+        print(f"\n{graph}: shrinking 30->10 nodes costs pushM "
+              f"{pushm_blowup:.1f}x, hybrid {hybrid_blowup:.1f}x "
+              f"(linear would be {linear:.1f}x)")
+        # pushM super-linear, hybrid sub-linear (or at worst linear)
+        assert pushm_blowup > linear, graph
+        assert hybrid_blowup < pushm_blowup, graph
+        assert hybrid_blowup < linear * 1.2, graph

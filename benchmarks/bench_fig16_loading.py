@@ -1,0 +1,73 @@
+"""Fig. 16 — cost of loading raw graph data into each storage layout.
+
+Three layouts: ``adj`` (adjacency list, push), ``VE-BLOCK`` (b-pull),
+``adj+VE-BLOCK`` (hybrid stores edges twice).  Reported as ratios to
+``adj``, for loading runtime and bytes written to local disks.
+
+Expected shape: VE-BLOCK loads slower and writes more than adj (parsing
+into fragments is CPU-intensive and the external sort re-writes the
+edges); adj+VE-BLOCK adds only the fast sequential adjacency write on
+top, so its runtime is just slightly above VE-BLOCK's while its written
+bytes are the sum.
+"""
+
+from conftest import QUICK, emit, once
+from repro.algorithms.pagerank import PageRank
+from repro.analysis.reporting import format_table
+from repro.core.runtime import Runtime
+from repro.datasets.registry import DATASETS, get_dataset
+
+GRAPHS = ("livej", "wiki") if QUICK else (
+    "livej", "wiki", "orkut", "twi", "fri", "uk"
+)
+
+LAYOUTS = {"adj": "push", "VE-BLOCK": "bpull", "adj+VE-BLOCK": "hybrid"}
+
+
+def collect():
+    out = {}
+    for graph_name in GRAPHS:
+        graph = get_dataset(graph_name)
+        spec = DATASETS[graph_name]
+        for layout, mode in LAYOUTS.items():
+            rt = Runtime(graph, PageRank(), spec.job_config(mode))
+            rt.setup()
+            out[(graph_name, layout)] = (
+                rt.load_metrics.elapsed_seconds,
+                rt.load_metrics.io.write,
+            )
+    return out
+
+
+def test_fig16_loading(benchmark):
+    data = once(benchmark, collect)
+    runtime_rows = []
+    io_rows = []
+    for graph in GRAPHS:
+        base_rt, base_io = data[(graph, "adj")]
+        runtime_rows.append([graph] + [
+            f"{data[(graph, layout)][0] / base_rt:.2f}"
+            for layout in LAYOUTS
+        ])
+        io_rows.append([graph] + [
+            f"{data[(graph, layout)][1] / base_io:.2f}"
+            for layout in LAYOUTS
+        ])
+    emit("fig16a_loading_runtime", format_table(
+        ["graph"] + list(LAYOUTS), runtime_rows,
+        title="Fig. 16(a) loading runtime, ratio to adj",
+    ))
+    emit("fig16b_loading_io", format_table(
+        ["graph"] + list(LAYOUTS), io_rows,
+        title="Fig. 16(b) bytes written while loading, ratio to adj",
+    ))
+    for graph in GRAPHS:
+        adj_rt, adj_io = data[(graph, "adj")]
+        veb_rt, veb_io = data[(graph, "VE-BLOCK")]
+        both_rt, both_io = data[(graph, "adj+VE-BLOCK")]
+        # VE-BLOCK costs more than adj on both axes
+        assert veb_rt > adj_rt, graph
+        assert veb_io > adj_io, graph
+        # storing edges twice: writes add up, runtime only inches up
+        assert both_io > veb_io, graph
+        assert veb_rt < both_rt < veb_rt * 1.6, graph

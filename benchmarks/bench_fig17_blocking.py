@@ -1,0 +1,61 @@
+"""Fig. 17 — blocking time (message exchange) of push vs pushM vs b-pull.
+
+PageRank with sufficient memory (the Fig. 7(a) setting) over wiki and
+orkut; per superstep we report the modeled time a worker spends
+exchanging messages.  b-pull starts exchanging from superstep 2 (its
+superstep 1 only updates and sets flags).
+
+Expected shape: b-pull's blocking time is comparable to push's — the
+block-centric protocol does not serialise communication — and usually
+lower, because concatenation/combining moves fewer bytes.
+"""
+
+import pytest
+
+from conftest import emit, once, run_cell
+from repro.algorithms.pagerank import PageRank
+from repro.analysis.reporting import format_table
+
+GRAPHS = ("wiki", "orkut")
+MODES = ("push", "pushm", "bpull")
+SUFFICIENT = dict(message_buffer_per_worker=None, graph_on_disk=False)
+
+
+def collect():
+    out = {}
+    for graph in GRAPHS:
+        for mode in MODES:
+            result = run_cell(graph, lambda: PageRank(supersteps=5),
+                              "pagerank5", mode, **SUFFICIENT)
+            out[(graph, mode)] = [
+                s.blocking_seconds for s in result.metrics.supersteps
+            ]
+    return out
+
+
+@pytest.mark.parametrize("graph", GRAPHS)
+def test_fig17_blocking_time(graph, benchmark):
+    data = once(benchmark, collect)
+    rows = []
+    for mode in MODES:
+        series = data[(graph, mode)]
+        rows.append(
+            [mode]
+            + [f"{b * 1e3:.3f}" for b in series]
+            + [f"{sum(series) / len(series) * 1e3:.3f}"]
+        )
+    headers = (["mode"] + [f"t{t}" for t in range(1, 6)] + ["mean"])
+    emit(f"fig17_blocking_{graph}", format_table(
+        headers, rows,
+        title=f"Fig. 17 blocking time per superstep (ms), {graph}",
+    ))
+    # b-pull exchanges nothing in superstep 1...
+    assert data[(graph, "bpull")][0] == 0.0
+    # ...and from superstep 2 on it stays comparable to push (within
+    # 1.5x) and wins on average over the full exchange supersteps.
+    push_mean = sum(data[(graph, "push")][1:]) / 4
+    bpull_mean = sum(data[(graph, "bpull")][1:]) / 4
+    assert bpull_mean <= push_mean * 1.5
+    for push_b, bpull_b in zip(data[(graph, "push")][1:],
+                               data[(graph, "bpull")][1:]):
+        assert bpull_b <= push_b * 2.0

@@ -1,0 +1,80 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper: it runs the experiment through the real engines, prints the same
+rows/series the paper reports, writes them to ``benchmarks/results/``,
+and asserts the paper's qualitative *shape* (who wins, roughly by how
+much, where crossovers fall).  Absolute numbers are modeled seconds from
+the simulator's cost model, not wall-clock.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced matrices while developing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import pytest
+
+from repro import AMAZON_CLUSTER, LOCAL_CLUSTER, JobConfig, run_job
+from repro.analysis.reporting import format_table
+from repro.core.engine import JobResult
+from repro.datasets.registry import DATASETS, get_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+#: process-level cache so figures sharing runs (e.g. Fig. 8 runtime and
+#: Fig. 10 I/O bytes) do not recompute them.
+_CACHE: Dict[Tuple, JobResult] = {}
+
+
+def run_cell(
+    dataset: str,
+    program_factory: Callable,
+    program_key: str,
+    mode: str,
+    cluster=LOCAL_CLUSTER,
+    **overrides,
+) -> JobResult:
+    """Run one experiment cell with memoisation.
+
+    ``program_key`` must uniquely describe the program configuration
+    (factories produce fresh program objects per run, so they cannot be
+    the cache key themselves).
+    """
+    key = (dataset, program_key, mode, cluster.name,
+           tuple(sorted(overrides.items())))
+    if key not in _CACHE:
+        graph = get_dataset(dataset)
+        config = DATASETS[dataset].job_config(
+            mode, cluster=cluster, **overrides
+        )
+        _CACHE[key] = run_job(graph, program_factory(), config)
+    return _CACHE[key]
+
+
+def emit(name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print()
+    print(table)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+
+def once(benchmark, fn: Callable):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,76 @@
+"""Where hybrid's switching stops helping (Appendix G).
+
+Runs the three algorithm styles over the same graph and prints, for
+each, the per-superstep responding-vertex counts, how often the
+switching metric Q_t changed sign, and how hybrid fared against the
+fixed transports.  Multi-Phase-Style workloads (here: phased
+multi-source BFS) flip Q_t at every phase boundary, and the Δt = 2
+switching delay means each switch lands after the phase that justified
+it — the paper's stated boundary of the technique.
+
+Run with::
+
+    python examples/multi_phase_boundary.py
+"""
+
+from repro import JobConfig, PageRank, PhasedBFS, SSSP, run_job, social_graph
+from repro.analysis.reporting import print_table
+
+
+def sign_flips(q_trace):
+    signs = [q >= 0 for q in q_trace if q is not None]
+    return sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+
+
+def sparkline(series, width=40):
+    if not series:
+        return ""
+    blocks = " .:-=+*#%@"
+    peak = max(series) or 1
+    squeezed = series[:width]
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+        for v in squeezed
+    )
+
+
+def main() -> None:
+    graph = social_graph(600, 8, seed=9, name="social-600")
+    styles = {
+        "always-active (PageRank)": PageRank(supersteps=10),
+        "traversal (SSSP)": SSSP(source=0),
+        "multi-phase (PhasedBFS)": PhasedBFS(sources=(0, 100, 200)),
+    }
+    rows = []
+    for label, program in styles.items():
+        runtimes = {}
+        for mode in ("push", "bpull", "hybrid"):
+            config = JobConfig(mode=mode, num_workers=4,
+                               message_buffer_per_worker=25)
+            result = run_job(graph, program, config)
+            runtimes[mode] = result.metrics.compute_seconds
+            if mode == "hybrid":
+                hybrid_metrics = result.metrics
+        responding = [
+            s.responding_vertices for s in hybrid_metrics.supersteps
+        ]
+        best_fixed = min(runtimes["push"], runtimes["bpull"])
+        rows.append([
+            label,
+            hybrid_metrics.num_supersteps,
+            sign_flips(hybrid_metrics.q_trace),
+            sum(1 for m in hybrid_metrics.mode_trace if "->" in m),
+            f"{runtimes['hybrid'] / best_fixed:.2f}x",
+        ])
+        print(f"{label:28s} activity {sparkline(responding)}")
+    print()
+    print_table(
+        ["style", "supersteps", "Q_t sign flips", "switches",
+         "hybrid / best fixed"],
+        rows,
+        title="Appendix G boundary: switching helps steady regimes only",
+    )
+
+
+if __name__ == "__main__":
+    main()

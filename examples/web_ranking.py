@@ -1,0 +1,47 @@
+"""Rank a disk-resident web graph: push vs pushM vs b-pull vs hybrid.
+
+This is the paper's motivating scenario (Section 1): PageRank over a web
+graph whose messages do not fit in memory.  The example runs the wiki
+stand-in with the paper's limited-memory budget on every engine and
+prints the comparison Fig. 8(a) makes — watch push pay for spilled
+messages while b-pull/hybrid avoid message I/O entirely.
+
+Run with::
+
+    python examples/web_ranking.py
+"""
+
+from repro import DATASETS, PageRank, get_dataset, run_job
+from repro.analysis.reporting import fmt_bytes, fmt_seconds, print_table
+
+
+def main() -> None:
+    spec = DATASETS["wiki"]
+    graph = get_dataset("wiki")
+    print(f"dataset: {graph} (stand-in for wiki, scale {spec.scale})")
+    print(f"workers: {spec.workers}, message buffer B_i = "
+          f"{spec.buffer_per_worker} messages")
+
+    rows = []
+    for mode in ("push", "pushm", "pull", "bpull", "hybrid"):
+        result = run_job(graph, PageRank(supersteps=5),
+                         spec.job_config(mode))
+        metrics = result.metrics
+        rows.append([
+            mode,
+            fmt_seconds(metrics.compute_seconds),
+            fmt_bytes(metrics.compute_io_bytes),
+            fmt_bytes(metrics.total_net_bytes),
+            f"{sum(s.spilled_messages for s in metrics.supersteps):,}",
+        ])
+    print_table(
+        ["engine", "runtime", "disk I/O", "network", "spilled msgs"],
+        rows,
+        title="\nPageRank (5 supersteps), limited memory, HDD cluster",
+    )
+    print("\nb-pull and hybrid avoid message spills entirely; the pull")
+    print("baseline drowns in random vertex reads (Fig. 8/10's shape).")
+
+
+if __name__ == "__main__":
+    main()

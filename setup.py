@@ -1,0 +1,9 @@
+"""Legacy shim: lets ``pip install -e . --no-use-pep517`` work offline
+
+(the sandbox has no ``wheel`` package, which PEP 660 editable installs
+require). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""HybridGraph reproduction — I/O-efficient hybrid push/pull graph engine.
+
+A faithful, simulator-backed reimplementation of *Hybrid Pulling/Pushing
+for I/O-Efficient Distributed and Iterative Graph Computing* (Wang, Gu,
+Bao, Yu & Yu, SIGMOD 2016).
+
+Quickstart::
+
+    from repro import Graph, JobConfig, PageRank, run_job
+
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    result = run_job(graph, PageRank(), JobConfig(mode="hybrid",
+                                                  num_workers=2))
+    print(result.values)
+
+See :mod:`repro.core.config` for the execution modes (push / pushm /
+pull / bpull / hybrid) and memory knobs, :mod:`repro.datasets.registry`
+for the synthetic stand-ins of the paper's datasets, and ``benchmarks/``
+for the per-figure experiment harness.
+"""
+
+from repro.analysis.graphstats import GraphStats, compute_stats
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+from repro.core.config import (
+    AMAZON_CLUSTER,
+    ClusterProfile,
+    CpuModel,
+    FaultPlan,
+    JobConfig,
+    LOCAL_CLUSTER,
+    MODES,
+)
+from repro.core.engine import JobResult, run_job
+from repro.core.graph import Graph, hash_partition, range_partition
+from repro.core.metrics import JobMetrics, SuperstepMetrics
+from repro.core.switching import b_lower_bound, initial_mode, q_metric
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.phased_bfs import PhasedBFS
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.datasets.generators import (
+    random_graph,
+    ring_graph,
+    social_graph,
+    web_graph,
+)
+from repro.datasets.io import read_edge_list, write_edge_list
+from repro.datasets.registry import DATASETS, get_dataset
+from repro.storage.disk import DiskProfile, HDD_PROFILE, SSD_PROFILE
+from repro.storage.records import DEFAULT_SIZES, RecordSizes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMAZON_CLUSTER",
+    "ClusterProfile",
+    "CpuModel",
+    "DATASETS",
+    "DEFAULT_SIZES",
+    "DiskProfile",
+    "FaultPlan",
+    "GraphStats",
+    "Graph",
+    "HDD_PROFILE",
+    "JobConfig",
+    "JobMetrics",
+    "JobResult",
+    "LOCAL_CLUSTER",
+    "LPA",
+    "MODES",
+    "PageRank",
+    "PhasedBFS",
+    "ProgramContext",
+    "RecordSizes",
+    "SA",
+    "SSD_PROFILE",
+    "SSSP",
+    "SuperstepMetrics",
+    "UpdateResult",
+    "VertexProgram",
+    "WCC",
+    "b_lower_bound",
+    "compute_stats",
+    "get_dataset",
+    "hash_partition",
+    "initial_mode",
+    "q_metric",
+    "random_graph",
+    "range_partition",
+    "read_edge_list",
+    "ring_graph",
+    "run_job",
+    "social_graph",
+    "web_graph",
+    "write_edge_list",
+]

@@ -1,0 +1,55 @@
+"""Label propagation community detection (LPA, Raghavan et al.).
+
+Always-Active-Style but with *non-commutative* messages: a vertex needs
+the full multiset of neighbor labels to take the majority, so neither
+the Combiner nor MOCgraph's online computing applies (the paper omits
+pushM from the LPA experiments for exactly this reason).  b-pull still
+concatenates label messages sharing a destination.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+
+__all__ = ["LPA"]
+
+
+class LPA(VertexProgram):
+    """Synchronous majority label propagation; ties pick the smaller label."""
+
+    name = "lpa"
+    combinable = False
+    all_active = True
+    default_max_supersteps = 5
+
+    def __init__(self, supersteps: int = 5) -> None:
+        self.default_max_supersteps = supersteps
+
+    def initial_value(self, vid: int, ctx: ProgramContext) -> int:
+        return vid
+
+    def update(
+        self,
+        vid: int,
+        value: int,
+        messages: Sequence[int],
+        ctx: ProgramContext,
+    ) -> UpdateResult:
+        if messages:
+            counts = Counter(messages)
+            best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            value = best
+        return UpdateResult(value=value, respond=True)
+
+    def message_value(
+        self,
+        vid: int,
+        value: int,
+        dst: int,
+        weight: float,
+        ctx: ProgramContext,
+    ) -> Optional[int]:
+        return value

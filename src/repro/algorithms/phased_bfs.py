@@ -1,0 +1,104 @@
+"""Phased multi-source reachability — a Multi-Phase-Style workload.
+
+Appendix G classifies algorithms by active-vertex behaviour and states
+that hybrid is *not* suitable for Multi-Phase-Style ones: the active
+volume grows and collapses once per phase, the sign of Q_t flips at
+every phase boundary, and the delayed (Δt = 2) switch never accumulates
+gain.  The paper's example is minimum spanning tree; this module
+provides a compact equivalent: BFS waves run from a list of sources
+**one source at a time**, with a Pregel-style aggregator detecting the
+end of each wave and the next phase starting only then.
+
+Mechanics: every vertex keeps ``(phase, reached, fresh)``.  The
+``frontier`` aggregator counts freshly reached vertices; when a
+superstep ends with ``frontier == 0`` every vertex advances its phase
+counter (they all observe the same total), the next source injects its
+wave, and :meth:`converged` keeps the master from halting during the
+one quiet superstep at each boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+
+__all__ = ["PhasedBFS"]
+
+Value = Tuple[int, Tuple[bool, ...], bool]
+
+
+class PhasedBFS(VertexProgram):
+    """Reachability from each source, one phase per source.
+
+    The final value of a vertex is ``(phase, reached, fresh)`` where
+    ``reached[p]`` says whether source ``p`` reaches it.
+    """
+
+    name = "phased-bfs"
+    combinable = False
+    all_active = True
+    default_max_supersteps = 10_000
+
+    def __init__(self, sources: Sequence[int]) -> None:
+        if not sources:
+            raise ValueError("need at least one source")
+        self.sources = tuple(sources)
+
+    # ------------------------------------------------------------------
+    def initial_value(self, vid: int, ctx: ProgramContext) -> Value:
+        return (0, (False,) * len(self.sources), False)
+
+    def update(
+        self,
+        vid: int,
+        value: Value,
+        messages: Sequence[int],
+        ctx: ProgramContext,
+    ) -> UpdateResult:
+        phase, reached, _fresh = value
+        if ctx.superstep > 1 and ctx.aggregates.get("frontier", 0.0) == 0.0:
+            phase = min(phase + 1, len(self.sources))
+        fresh = False
+        if phase < len(self.sources) and not reached[phase]:
+            # a source is freshly reached when its phase opens; any other
+            # vertex when a wave message of the current phase arrives.
+            if vid == self.sources[phase] or any(
+                m == phase for m in messages
+            ):
+                marks = list(reached)
+                marks[phase] = True
+                reached = tuple(marks)
+                fresh = True
+        return UpdateResult(value=(phase, reached, fresh), respond=fresh)
+
+    def message_value(
+        self,
+        vid: int,
+        value: Value,
+        dst: int,
+        weight: float,
+        ctx: ProgramContext,
+    ) -> Optional[int]:
+        phase, _reached, fresh = value
+        return phase if fresh else None
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self, vid: int, old_value: Value, new_value: Value,
+        ctx: ProgramContext,
+    ) -> Dict[str, float]:
+        _phase, _reached, fresh = new_value
+        return {
+            "frontier": 1.0 if fresh else 0.0,
+            "phase_total": float(new_value[0]),
+        }
+
+    def converged(self, ctx: ProgramContext) -> Optional[bool]:
+        totals = ctx.aggregates
+        if not totals:
+            return None
+        all_phases_done = totals.get("phase_total", 0.0) >= (
+            len(self.sources) * ctx.num_vertices
+        )
+        return all_phases_done and totals.get("frontier", 0.0) == 0.0

@@ -1,0 +1,101 @@
+"""SA — simulating advertisements on social networks (from Mizan [15]).
+
+Selected source vertices inject advertisements; every recipient either
+forwards an ad to its out-neighbors or ignores it, according to a
+deterministic per-(vertex, ad) interest function.  Messages (ad lists)
+are not commutative, so no Combiner — and the active-vertex volume jumps
+around during the middle supersteps, which is what degrades the
+persistence predictor's accuracy in Figs. 11-13.
+
+The vertex value is ``(accepted, fresh)``: all ads ever accepted plus
+the ones accepted this superstep.  ``message_value`` forwards only the
+fresh ads, keeping it a pure function of the stored value (the
+pullRes/pushRes contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence, Tuple
+
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+
+__all__ = ["SA"]
+
+Value = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+def _interested(vid: int, ad: int, percent: int) -> bool:
+    """Deterministic pseudo-random interest in one advertisement."""
+    digest = hashlib.blake2b(
+        f"{vid}:{ad}".encode(), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big") % 100 < percent
+
+
+class SA(VertexProgram):
+    """Advertisement spread with deterministic interests.
+
+    Parameters
+    ----------
+    num_sources:
+        The first ``num_sources`` vertex ids inject their own ad.
+    interest_percent:
+        Probability (in percent) that a vertex is interested in an ad.
+    """
+
+    name = "sa"
+    combinable = False
+    all_active = False
+    default_max_supersteps = 0  # run to convergence
+
+    def __init__(self, num_sources: int = 3, interest_percent: int = 55):
+        if not 0 <= interest_percent <= 100:
+            raise ValueError("interest_percent must be within [0, 100]")
+        self.num_sources = num_sources
+        self.interest_percent = interest_percent
+
+    def initial_value(self, vid: int, ctx: ProgramContext) -> Value:
+        return ((), ())
+
+    def initially_active(self, vid: int, ctx: ProgramContext) -> bool:
+        return vid < self.num_sources
+
+    def update(
+        self,
+        vid: int,
+        value: Value,
+        messages: Sequence[Tuple[int, ...]],
+        ctx: ProgramContext,
+    ) -> UpdateResult:
+        accepted = set(value[0])
+        if ctx.superstep == 1 and vid < self.num_sources:
+            fresh = {vid}  # the source's own advertisement
+        else:
+            incoming = {ad for ads in messages for ad in ads}
+            fresh = {
+                ad
+                for ad in incoming
+                if ad not in accepted
+                and _interested(vid, ad, self.interest_percent)
+            }
+        if not fresh:
+            return UpdateResult(
+                value=(tuple(sorted(accepted)), ()), respond=False
+            )
+        accepted |= fresh
+        return UpdateResult(
+            value=(tuple(sorted(accepted)), tuple(sorted(fresh))),
+            respond=True,
+        )
+
+    def message_value(
+        self,
+        vid: int,
+        value: Value,
+        dst: int,
+        weight: float,
+        ctx: ProgramContext,
+    ) -> Optional[Tuple[int, ...]]:
+        fresh = value[1]
+        return fresh if fresh else None

@@ -1,0 +1,64 @@
+"""Single-source shortest paths (Traversal-Style).
+
+Only the source is active in superstep 1; a vertex responds exactly when
+its distance improved, so the responding set grows and then shrinks as
+the frontier sweeps the graph — the behaviour that gives hybrid its
+switching opportunities (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+
+__all__ = ["SSSP"]
+
+
+class SSSP(VertexProgram):
+    """Pregel SSSP with min-combinable distance messages."""
+
+    name = "sssp"
+    combinable = True
+    all_active = False
+    default_max_supersteps = 0  # run to convergence
+    async_safe = True
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    def initial_value(self, vid: int, ctx: ProgramContext) -> float:
+        return math.inf
+
+    def initially_active(self, vid: int, ctx: ProgramContext) -> bool:
+        return vid == self.source
+
+    def update(
+        self,
+        vid: int,
+        value: float,
+        messages: Sequence[float],
+        ctx: ProgramContext,
+    ) -> UpdateResult:
+        if ctx.superstep == 1 and vid == self.source:
+            return UpdateResult(value=0.0, respond=True)
+        best = min(messages) if messages else math.inf
+        if best < value:
+            return UpdateResult(value=best, respond=True)
+        return UpdateResult(value=value, respond=False)
+
+    def message_value(
+        self,
+        vid: int,
+        value: float,
+        dst: int,
+        weight: float,
+        ctx: ProgramContext,
+    ) -> Optional[float]:
+        if math.isinf(value):
+            return None
+        return value + weight
+
+    def combine(self, a: float, b: float) -> float:
+        return a if a <= b else b

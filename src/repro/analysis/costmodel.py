@@ -1,0 +1,75 @@
+"""Closed-form pieces of the paper's cost model (Section 4.3, 5.1).
+
+* Theorem 1: the expected number of fragments of a vertex with
+  out-degree ``d`` under ``V`` uniform Vblocks is
+  ``g(V) = V * (1 - (1 - 1/V)^d)``, increasing in ``V``;
+* Eq. 7 / Eq. 8: per-superstep I/O bytes of push and b-pull;
+* Theorem 2: ``B <= |E|/2 - f`` implies ``C_io(push) >= C_io(b-pull)``
+  when every vertex broadcasts.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import SuperstepMetrics
+
+__all__ = [
+    "expected_fragments",
+    "cio_push",
+    "cio_bpull",
+    "cio_push_of",
+    "cio_bpull_of",
+    "theorem2_premise",
+]
+
+
+def expected_fragments(num_blocks: int, out_degree: int) -> float:
+    """Theorem 1's ``g(V)``: expected fragments of one vertex.
+
+    With edges landing in each of ``V`` Eblocks with probability
+    ``1/V``, the chance block *j* receives at least one of ``d`` edges is
+    ``1 - (1 - 1/V)^d``; summing over blocks gives ``g``.
+    """
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    if out_degree < 0:
+        raise ValueError("out_degree must be non-negative")
+    v = float(num_blocks)
+    return v * (1.0 - (1.0 - 1.0 / v) ** out_degree)
+
+
+def cio_push(
+    vertex_bytes: int,
+    edge_bytes: int,
+    mdisk_bytes: int,
+) -> int:
+    """Eq. 7: ``C_io(push) = IO(V_t) + IO(E_t) + 2 IO(M_disk)``."""
+    return vertex_bytes + edge_bytes + 2 * mdisk_bytes
+
+
+def cio_bpull(
+    vertex_bytes: int,
+    edge_bytes: int,
+    fragment_bytes: int,
+    vrr_bytes: int,
+) -> int:
+    """Eq. 8: ``C_io(b-pull) = IO(V_t) + IO(Ē_t) + IO(F_t) + IO(V_rr)``."""
+    return vertex_bytes + edge_bytes + fragment_bytes + vrr_bytes
+
+
+def cio_push_of(step: SuperstepMetrics) -> int:
+    """Eq. 7 evaluated from a measured push superstep."""
+    return cio_push(step.io_vertex, step.io_edges_push, step.io_message_spill)
+
+
+def cio_bpull_of(step: SuperstepMetrics) -> int:
+    """Eq. 8 evaluated from a measured b-pull superstep."""
+    return cio_bpull(
+        step.io_vertex, step.io_edges_bpull, step.io_fragments, step.io_vrr
+    )
+
+
+def theorem2_premise(
+    buffer_messages: int, num_edges: int, num_fragments: int
+) -> bool:
+    """Whether Theorem 2 guarantees ``C_io(push) >= C_io(b-pull)``."""
+    return buffer_messages <= num_edges / 2.0 - num_fragments

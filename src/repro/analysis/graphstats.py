@@ -1,0 +1,100 @@
+"""Graph statistics relevant to transport choice.
+
+Users bringing their own graphs can check, before running anything,
+which side of the paper's trade-offs they are on: degree skew and
+id-locality drive the fragment count (Theorem 1), and the fragment count
+against |E|/2 decides Theorem 2's initial transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.costmodel import expected_fragments
+from repro.core.graph import Graph
+
+__all__ = ["GraphStats", "compute_stats"]
+
+
+def _percentile(sorted_values: List[int], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = q * (len(sorted_values) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = idx - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of a graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    out_degree_p50: float
+    out_degree_p99: float
+    #: max out-degree over average — the skew that hurts b-pull on twi.
+    skew_ratio: float
+    #: fraction of edges landing within +-1% of |V| of their source id.
+    locality_index: float
+    #: Theorem 1's expected total fragments for the given block count.
+    expected_fragments: float
+    #: Theorem 2's bound |E|/2 - E[f]; a buffer below it favours b-pull.
+    b_lower_bound: float
+
+    def summary(self) -> str:
+        lines = [
+            f"graph {self.name}: |V|={self.num_vertices:,} "
+            f"|E|={self.num_edges:,} avg degree {self.avg_degree:.1f}",
+            f"out-degree p50/p99/max: {self.out_degree_p50:.0f}/"
+            f"{self.out_degree_p99:.0f}/{self.max_out_degree} "
+            f"(skew {self.skew_ratio:.1f}x)",
+            f"id-locality index: {self.locality_index:.2f}",
+            f"expected fragments: {self.expected_fragments:,.0f} "
+            f"({self.expected_fragments / max(1, self.num_edges):.2f} "
+            "per edge)",
+            f"Theorem 2 bound B_perp ~= {self.b_lower_bound:,.0f} messages",
+        ]
+        return "\n".join(lines)
+
+
+def compute_stats(graph: Graph, num_blocks: int = 100) -> GraphStats:
+    """Summarise *graph* assuming a VE-BLOCK layout of *num_blocks*.
+
+    The fragment expectation uses Theorem 1's uniform-placement model,
+    which is an upper bound when the graph has id-locality (clustered
+    edges produce fewer fragments than uniform ones).
+    """
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    degrees = sorted(graph.out_degree(v) for v in graph.vertices())
+    window = max(1, graph.num_vertices // 100)
+    local = 0
+    expected = 0.0
+    for v in graph.vertices():
+        expected += expected_fragments(num_blocks, graph.out_degree(v))
+    for src, dst, _w in graph.edges():
+        distance = abs(src - dst)
+        distance = min(distance, graph.num_vertices - distance)
+        if distance <= window:
+            local += 1
+    avg = graph.average_degree
+    max_deg = degrees[-1] if degrees else 0
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        avg_degree=avg,
+        max_out_degree=max_deg,
+        out_degree_p50=_percentile(degrees, 0.50),
+        out_degree_p99=_percentile(degrees, 0.99),
+        skew_ratio=(max_deg / avg) if avg else 0.0,
+        locality_index=(local / graph.num_edges) if graph.num_edges else 0.0,
+        expected_fragments=expected,
+        b_lower_bound=graph.num_edges / 2.0 - expected,
+    )

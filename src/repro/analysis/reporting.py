@@ -1,0 +1,63 @@
+"""Plain-text tables for the benchmark harness.
+
+Every bench prints the same rows/series the paper's figure reports, via
+these helpers, so ``pytest benchmarks/ --benchmark-only -s`` regenerates
+a textual version of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "fmt_bytes", "fmt_seconds"]
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:,.1f}{unit}" if unit != "B" else f"{value:,.0f}B"
+        value /= 1024.0
+    return f"{value:,.1f}TB"
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:,.0f}s"
+    if seconds >= 1:
+        return f"{seconds:,.2f}s"
+    return f"{seconds * 1000.0:,.2f}ms"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,145 @@
+"""Command-line interface: run a job and print its report.
+
+Examples::
+
+    python -m repro --dataset wiki --algorithm pagerank --mode hybrid
+    python -m repro --edge-list my.txt --algorithm sssp --source 3 \\
+        --mode bpull --workers 8 --buffer 1000
+    python -m repro --dataset twi --algorithm sssp --mode hybrid --trace
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.phased_bfs import PhasedBFS
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.analysis.reporting import fmt_bytes, fmt_seconds, print_table
+from repro.core.config import AMAZON_CLUSTER, JobConfig, LOCAL_CLUSTER, MODES
+from repro.core.engine import run_job
+from repro.datasets.io import read_edge_list
+from repro.datasets.registry import DATASETS, dataset_names, get_dataset
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS = ("pagerank", "sssp", "lpa", "sa", "wcc", "phased-bfs")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "HybridGraph reproduction: run an iterative graph algorithm "
+            "under one of the five message transports."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="synthetic stand-in from the Table 4 registry")
+    source.add_argument("--edge-list", metavar="PATH",
+                        help="text edge list: 'src dst [weight]' per line")
+    parser.add_argument("--algorithm", choices=ALGORITHMS,
+                        default="pagerank")
+    parser.add_argument("--mode", choices=MODES, default="hybrid")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="computational nodes (dataset default: 5/30)")
+    parser.add_argument("--buffer", type=int, default=None, metavar="B_I",
+                        help="per-worker message buffer; omit = unlimited")
+    parser.add_argument("--supersteps", type=int, default=None,
+                        help="override the superstep budget")
+    parser.add_argument("--source", type=int, default=0,
+                        help="source vertex for sssp")
+    parser.add_argument("--cluster", choices=("local", "amazon"),
+                        default="local",
+                        help="hardware profile (Table 3): HDD or SSD")
+    parser.add_argument("--in-memory", action="store_true",
+                        help="sufficient-memory scenario (no disk charges)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the per-superstep trace")
+    parser.add_argument("--stats", action="store_true",
+                        help="print graph statistics and exit (no job)")
+    return parser
+
+
+def _make_program(args: argparse.Namespace):
+    if args.algorithm == "pagerank":
+        return PageRank(supersteps=args.supersteps or 10)
+    if args.algorithm == "sssp":
+        return SSSP(source=args.source)
+    if args.algorithm == "lpa":
+        return LPA(supersteps=args.supersteps or 5)
+    if args.algorithm == "sa":
+        return SA()
+    if args.algorithm == "phased-bfs":
+        return PhasedBFS(sources=(args.source, args.source + 1))
+    return WCC()
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.dataset:
+        graph = get_dataset(args.dataset)
+        spec = DATASETS[args.dataset]
+        workers = args.workers or spec.workers
+        buffer = args.buffer if args.buffer is not None else (
+            None if args.in_memory else spec.buffer_per_worker
+        )
+        vblocks = spec.vblocks_per_worker
+    else:
+        graph = read_edge_list(args.edge_list)
+        workers = args.workers or 5
+        buffer = args.buffer
+        vblocks = None
+
+    if args.stats:
+        from repro.analysis.graphstats import compute_stats
+
+        print(compute_stats(graph).summary())
+        return 0
+
+    config = JobConfig(
+        mode=args.mode,
+        num_workers=workers,
+        message_buffer_per_worker=buffer,
+        graph_on_disk=not args.in_memory,
+        vblocks_per_worker=vblocks,
+        cluster=AMAZON_CLUSTER if args.cluster == "amazon" else LOCAL_CLUSTER,
+        max_supersteps=args.supersteps,
+    )
+    program = _make_program(args)
+    result = run_job(graph, program, config)
+    metrics = result.metrics
+
+    print(f"graph      : {graph.name} |V|={graph.num_vertices:,} "
+          f"|E|={graph.num_edges:,}")
+    print(f"program    : {program.name}   mode: {metrics.mode}   "
+          f"workers: {workers}   cluster: {config.cluster.name}")
+    print(f"supersteps : {metrics.num_supersteps}")
+    print(f"runtime    : {fmt_seconds(metrics.runtime_seconds)} "
+          f"(load {fmt_seconds(metrics.load.elapsed_seconds)})")
+    print(f"disk I/O   : {fmt_bytes(metrics.compute_io_bytes)}   "
+          f"network: {fmt_bytes(metrics.total_net_bytes)}   "
+          f"messages: {metrics.total_messages:,}")
+    if args.mode == "hybrid":
+        switches = [m for m in metrics.mode_trace if "->" in m]
+        print(f"mode trace : {switches or 'no switches'}")
+    if args.trace:
+        rows = [
+            [s.superstep, s.mode, s.updated_vertices, s.raw_messages,
+             fmt_bytes(s.io.total), fmt_seconds(s.elapsed_seconds)]
+            for s in metrics.supersteps
+        ]
+        print_table(
+            ["t", "mode", "updated", "messages", "disk", "elapsed"],
+            rows,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Fault detection and recompute-from-scratch recovery (Appendix A).
+
+HybridGraph's current fault-tolerance policy is to recompute the job
+from scratch when a worker fails.  The engine's master loop plays the
+Fault Detector: a :class:`FaultInjector` raises :class:`WorkerFailure`
+at a planned superstep, the engine discards all iteration state and
+restarts from superstep 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import FaultPlan
+
+__all__ = ["WorkerFailure", "FaultInjector"]
+
+
+class WorkerFailure(RuntimeError):
+    """A computational node failed during a superstep."""
+
+    def __init__(self, worker: int, superstep: int) -> None:
+        super().__init__(
+            f"worker {worker} failed during superstep {superstep}"
+        )
+        self.worker = worker
+        self.superstep = superstep
+
+
+class FaultInjector:
+    """Fires one planned failure, then stays quiet across the restart."""
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self._plan = plan
+        self._fired = False
+
+    def check(self, superstep: int) -> None:
+        if self._plan is None or self._fired:
+            return
+        if superstep == self._plan.superstep:
+            self._fired = True
+            raise WorkerFailure(self._plan.worker, superstep)

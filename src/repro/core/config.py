@@ -1,0 +1,194 @@
+"""Job configuration: execution mode, memory budgets, hardware profiles.
+
+A :class:`JobConfig` fully determines a run (the simulator is
+deterministic), so every experiment in ``benchmarks/`` is expressed as a
+set of configs over a set of graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.storage.disk import DiskProfile, HDD_PROFILE, SSD_PROFILE
+from repro.storage.records import DEFAULT_SIZES, RecordSizes
+
+__all__ = [
+    "CpuModel",
+    "ClusterProfile",
+    "LOCAL_CLUSTER",
+    "AMAZON_CLUSTER",
+    "FaultPlan",
+    "JobConfig",
+    "MODES",
+]
+
+#: Execution modes accepted by :func:`repro.run_job`.
+MODES = ("push", "pushm", "pull", "bpull", "hybrid")
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Per-operation CPU costs in modeled seconds.
+
+    ``sortmerge_per_spilled_message`` models Giraph's sort-merge handling
+    of disk-resident messages, which the paper identifies as
+    computation-intensive — it is why push does *not* speed up on the
+    amazon/SSD cluster (Section 6.1).  ``speed`` scales all CPU costs;
+    the amazon cluster's virtual CPUs are slower than the local cluster's
+    physical ones.
+    """
+
+    update: float = 5e-7
+    per_message: float = 2e-7
+    per_edge: float = 2e-8
+    sortmerge_per_spilled_message: float = 1e-5
+    per_lru_miss: float = 1e-7
+    load_parse_per_edge: float = 5e-8
+    speed: float = 1.0
+
+    def seconds(self, *, updates: int = 0, messages: int = 0, edges: int = 0,
+                spilled: int = 0, lru_misses: int = 0) -> float:
+        raw = (
+            updates * self.update
+            + messages * self.per_message
+            + edges * self.per_edge
+            + spilled * self.sortmerge_per_spilled_message
+            + lru_misses * self.per_lru_miss
+        )
+        return raw / self.speed
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Hardware profile of a cluster: disk/network throughputs + CPU."""
+
+    name: str
+    disk: DiskProfile
+    cpu: CpuModel
+
+    def with_cpu(self, **kwargs) -> "ClusterProfile":
+        return replace(self, cpu=replace(self.cpu, **kwargs))
+
+
+#: Table 3 "local" cluster: HDDs, physical CPUs.
+LOCAL_CLUSTER = ClusterProfile(name="local", disk=HDD_PROFILE, cpu=CpuModel())
+
+#: Table 3 "amazon" cluster: SSDs, weaker virtual CPUs.
+AMAZON_CLUSTER = ClusterProfile(
+    name="amazon", disk=SSD_PROFILE, cpu=CpuModel(speed=0.6)
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Inject a worker failure once, for fault-tolerance tests.
+
+    HybridGraph's recovery policy is recompute-from-scratch (Appendix A);
+    the engine restarts the job when the failure fires.
+    """
+
+    worker: int
+    superstep: int
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Everything that parameterises one job run.
+
+    Parameters mirror the paper's experimental knobs:
+
+    * ``mode`` — push (Giraph), pushm (MOCgraph), pull (GraphLab
+      PowerGraph + disk extension), bpull, hybrid.
+    * ``message_buffer_per_worker`` — ``B_i``, the number of messages a
+      worker may hold in memory before spilling (push family).  ``None``
+      means unlimited (the "sufficient memory" scenario).  The pull
+      baseline and pushM reuse the same budget to cache vertices.
+    * ``graph_on_disk`` — the limited-memory scenario stores vertices and
+      edges on (simulated) disk; False keeps everything memory-resident.
+    * ``vblocks_per_worker`` — ``V_i``; ``None`` derives it from Eq. 5
+      (combinable programs) or Eq. 6 (concatenation only).
+    * ``sending_threshold_bytes`` — network package size (Appendix E).
+    * ``switching_interval`` — Δt of the hybrid predictor (paper: 2).
+    """
+
+    mode: str = "hybrid"
+    num_workers: int = 5
+    partition: str = "range"  # "range" | "hash"
+    message_buffer_per_worker: Optional[int] = None
+    graph_on_disk: bool = True
+    cluster: ClusterProfile = LOCAL_CLUSTER
+    sizes: RecordSizes = DEFAULT_SIZES
+    vblocks_per_worker: Optional[int] = None
+    sending_threshold_bytes: int = 4096
+    max_supersteps: Optional[int] = None
+    switching_enabled: bool = True
+    switching_interval: int = 2
+    #: extension: only change transport when |Q_t| exceeds this fraction
+    #: of the superstep's modeled duration.  0.0 reproduces the paper's
+    #: pure sign rule; a few percent suppresses flip-flops in the
+    #: near-zero early supersteps where the predicted gain cannot repay
+    #: the switch overhead.
+    switching_deadband: float = 0.0
+    receiver_combine: bool = False
+    sender_combine: bool = False  # pushM+com variant (Appendix E)
+    #: set False to disable the Combiner in b-pull while keeping
+    #: concatenation (the Fig. 18 network-traffic comparison does this).
+    bpull_combine: bool = True
+    prepull: bool = True  # b-pull pre-pulls the next Vblock (Section 4.3)
+    #: vertices per physical adjacency block; push reads edges at this
+    #: granularity (Section 6.2's block-insensitivity of C_io(push)).
+    adjacency_block_vertices: int = 64
+    #: asynchronous iteration (push family only): messages produced by a
+    #: worker become visible to later workers within the same superstep,
+    #: accelerating convergence of monotonic algorithms (those with
+    #: ``async_safe = True``, e.g. SSSP/WCC).  The paper runs everything
+    #: synchronously and notes async support as an extension.
+    asynchronous: bool = False
+    lru_capacity_vertices: Optional[int] = None  # pull baseline; None -> B_i
+    vertices_on_disk_for_pull: bool = True  # Table 5 ext-edge keeps them in memory
+    fragment_clustering: bool = True  # ablation: False = one fragment per edge
+    fault: Optional[FaultPlan] = None
+    #: snapshot the iteration state every N supersteps and recover from
+    #: the latest snapshot instead of recomputing from scratch — the
+    #: lightweight fault tolerance the paper leaves as future work
+    #: (Appendix A).  None keeps the paper's recompute-from-scratch.
+    checkpoint_interval: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.partition not in ("range", "hash"):
+            raise ValueError("partition must be 'range' or 'hash'")
+        if self.switching_interval < 1:
+            raise ValueError("switching_interval must be >= 1")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.asynchronous and self.mode not in ("push", "pushm"):
+            raise ValueError(
+                "asynchronous iteration is only supported by the push "
+                "family (push/pushm)"
+            )
+
+    # Convenience -------------------------------------------------------
+    @property
+    def total_message_buffer(self) -> Optional[int]:
+        """Cluster-wide ``B`` = Σ B_i (None when unlimited)."""
+        if self.message_buffer_per_worker is None:
+            return None
+        return self.message_buffer_per_worker * self.num_workers
+
+    @property
+    def memory_sufficient(self) -> bool:
+        return self.message_buffer_per_worker is None and not self.graph_on_disk
+
+    def lru_capacity(self) -> Optional[int]:
+        if self.lru_capacity_vertices is not None:
+            return self.lru_capacity_vertices
+        return self.message_buffer_per_worker
+
+    def but(self, **kwargs) -> "JobConfig":
+        """A copy with some fields replaced (config sweeps read nicely)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,213 @@
+"""The BSP engine: master loop, superstep scheduling, halting, recovery.
+
+``run_job`` is the library's main entry point.  It plays the paper's
+Master (Appendix A): it schedules supersteps, enforces the barrier
+(implicit — supersteps are executed to completion before the next
+starts), consults the Switcher for hybrid jobs, detects injected faults
+and recovers by recomputation, and assembles :class:`JobMetrics`.
+
+Superstep mechanics (Section 5.2): a superstep's *input* mechanism is
+determined by the previous superstep's mode (push leaves messages in the
+receiver stores; b-pull leaves responding flags), its *output* mechanism
+by its own mode.  A mode change therefore automatically executes the
+correct switch superstep of Fig. 6:
+
+=============  =============  =======  ========
+prev mode      current mode   input    output
+=============  =============  =======  ========
+push           push           stored   push
+push           bpull          stored   flag   (switch: load+update only)
+bpull          push           pull     push   (switch: pull+update+push)
+bpull          bpull          pull     flag
+=============  =============  =======  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.api import VertexProgram
+from repro.core.config import JobConfig
+from repro.core.graph import Graph
+from repro.core.metrics import JobMetrics
+from repro.core.modes.common import run_superstep
+from repro.core.modes.pull import run_pull_superstep
+from repro.core.runtime import Runtime
+from repro.core.switching import FixedController, HybridController
+from repro.cluster.checkpoint import restore_checkpoint, take_checkpoint
+from repro.cluster.fault import FaultInjector, WorkerFailure
+
+__all__ = ["JobResult", "run_job"]
+
+_MAX_RESTARTS = 3
+
+
+@dataclass
+class JobResult:
+    """Final vertex values plus the full metrics of the run."""
+
+    values: List[Any]
+    metrics: JobMetrics
+    #: the runtime, exposed for tests and ablations that poke internals.
+    runtime: Runtime
+
+    def value_of(self, vid: int) -> Any:
+        return self.values[vid]
+
+
+def run_job(
+    graph: Graph, program: VertexProgram, config: Optional[JobConfig] = None
+) -> JobResult:
+    """Run *program* over *graph* under *config* and return the result.
+
+    See :class:`~repro.core.config.JobConfig` for the execution modes and
+    memory knobs; the default runs the hybrid engine on 5 workers with
+    disk-resident graph data.
+    """
+    config = config or JobConfig()
+    rt = Runtime(graph, program, config)
+    rt.setup()
+    injector = FaultInjector(config.fault)
+
+    metrics = JobMetrics(
+        mode=config.mode,
+        graph_name=graph.name,
+        program_name=program.name,
+        num_workers=config.num_workers,
+        load=rt.load_metrics,
+    )
+
+    if config.mode == "hybrid":
+        controller: Any = HybridController(
+            rt,
+            enabled=config.switching_enabled,
+            interval=config.switching_interval,
+            deadband=config.switching_deadband,
+        )
+    else:
+        controller = FixedController(config.mode)
+
+    restarts = 0
+    start_superstep = 0
+    prev_mode: Optional[str] = None
+    latest_checkpoint: List[Any] = [None]
+    while True:
+        try:
+            _iterate(rt, controller, metrics, injector, start_superstep,
+                     prev_mode, latest_checkpoint)
+            break
+        except WorkerFailure:
+            restarts += 1
+            if restarts > _MAX_RESTARTS:
+                raise
+            checkpoint = latest_checkpoint[0]
+            if checkpoint is not None:
+                # lightweight recovery: resume after the snapshot
+                controller = restore_checkpoint(rt, checkpoint)
+                del metrics.supersteps[checkpoint.superstep:]
+                del metrics.mode_trace[checkpoint.superstep:]
+                start_superstep = checkpoint.superstep
+                prev_mode = checkpoint.prev_mode
+                metrics.recovered_from = checkpoint.superstep
+            else:
+                # the paper's policy: recompute from scratch
+                rt.reset_for_restart()
+                metrics.supersteps.clear()
+                metrics.mode_trace.clear()
+                start_superstep = 0
+                prev_mode = None
+                if config.mode == "hybrid":
+                    controller = HybridController(
+                        rt,
+                        enabled=config.switching_enabled,
+                        interval=config.switching_interval,
+                        deadband=config.switching_deadband,
+                    )
+    metrics.restarts = restarts
+    if isinstance(controller, HybridController):
+        metrics.q_trace = [q for _t, q in controller.q_trace]
+    _build_traffic_timeline(rt, metrics)
+    return JobResult(values=rt.values, metrics=metrics, runtime=rt)
+
+
+def _iterate(
+    rt: Runtime,
+    controller: Any,
+    metrics: JobMetrics,
+    injector: FaultInjector,
+    start_superstep: int = 0,
+    prev_mode: Optional[str] = None,
+    latest_checkpoint: Optional[List[Any]] = None,
+) -> None:
+    """The superstep loop, up to convergence or the superstep budget.
+
+    ``start_superstep``/``prev_mode`` support resuming from a checkpoint;
+    ``latest_checkpoint`` is a one-slot holder updated in place whenever a
+    snapshot is taken, so the recovery path in :func:`run_job` can reach
+    the newest one even though the loop exits via an exception.
+    """
+    config = rt.config
+    superstep = start_superstep
+    while superstep < rt.max_supersteps:
+        superstep += 1
+        injector.check(superstep)
+        mode = controller.mode_for(superstep)
+        if mode == "pull":
+            step = run_pull_superstep(rt, superstep)
+        else:
+            in_mech = "stored" if (prev_mode or mode) == "push" else "pull"
+            out_mech = "push" if mode == "push" else "flag"
+            label = mode
+            if prev_mode is not None and prev_mode != mode:
+                label = f"{prev_mode}->{mode}"
+            step = run_superstep(rt, superstep, in_mech, out_mech, label)
+        mode_label = step.mode
+        if config.mode == "pushm":
+            mode_label = step.mode = "pushm"
+        metrics.supersteps.append(step)
+        metrics.mode_trace.append(mode_label)
+        metrics.executed_supersteps += 1
+        # publish this superstep's aggregator totals for the next one
+        rt.ctx.aggregates = dict(step.aggregates)
+        controller.observe(rt, step)
+        has_flags = rt.responding_count() > 0
+        rt.swap_flags()
+        pending = rt.pending_messages() > 0
+        prev_mode = mode
+        if superstep == 1 and rt.program.all_active:
+            stop = False
+        elif step.updated_vertices == 0 and superstep > 1:
+            stop = True
+        else:
+            stop = not has_flags and not pending
+        verdict = rt.program.converged(rt.ctx)
+        if verdict is not None:
+            stop = verdict
+        if stop:
+            break
+        if (
+            latest_checkpoint is not None
+            and config.checkpoint_interval is not None
+            and superstep % config.checkpoint_interval == 0
+            and superstep < rt.max_supersteps  # last superstep: pointless
+        ):
+            checkpoint = take_checkpoint(rt, superstep, mode, controller)
+            latest_checkpoint[0] = checkpoint
+            metrics.checkpoints.append((
+                superstep,
+                checkpoint.nbytes,
+                checkpoint.write_seconds(
+                    config.cluster.disk.seq_write_mbps
+                ),
+            ))
+
+
+def _build_traffic_timeline(rt: Runtime, metrics: JobMetrics) -> None:
+    """Cumulative (modeled seconds, net bytes this superstep) samples."""
+    clock = rt.load_metrics.elapsed_seconds
+    timeline = []
+    for step in metrics.supersteps:
+        clock += step.elapsed_seconds
+        timeline.append((clock, step.net_bytes))
+    metrics.traffic_timeline = timeline

@@ -1,0 +1,351 @@
+"""Job runtime: workers, shared vertex state, and storage setup.
+
+The simulator executes a distributed job deterministically in one
+process.  Each :class:`Worker` owns a slice of the vertices, a simulated
+disk, and the storage structures its execution mode needs; vertex values
+and responding flags live in runtime-wide arrays for speed, with
+ownership discipline enforced by the mode implementations (a worker only
+reads/writes state of vertices it owns, except through the explicitly
+charged access paths).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.core.api import ProgramContext, VertexProgram
+from repro.core.config import JobConfig
+from repro.core.graph import Graph, Partition, hash_partition, range_partition
+from repro.core.metrics import LoadMetrics
+from repro.cluster.network import SimulatedNetwork
+from repro.storage.adjacency import AdjacencyStore
+from repro.storage.disk import SimulatedDisk
+from repro.storage.messages import OnlineMessageStore, SpillingMessageStore
+from repro.storage.veblock import BlockLayout, VEBlockStore
+from repro.storage.vertex_cache import LRUVertexCache
+
+__all__ = ["Worker", "Runtime", "choose_vblocks_per_worker"]
+
+
+def choose_vblocks_per_worker(
+    graph: Graph,
+    partition: Partition,
+    worker: int,
+    buffer_messages: Optional[int],
+    combinable: bool,
+    in_degrees: Optional[Sequence[int]] = None,
+) -> int:
+    """Pick ``V_i`` from the memory budget (Eqs. 5 and 6, Section 4.3).
+
+    For combinable programs, ``V_i = (2 n_i + n_i T) / B_i`` (receive
+    buffer is pre-pulled twice, send buffer has ``T`` sub-buffers); for
+    concatenation-only programs the receive buffer must hold one value
+    per in-edge, so ``V_i = Σ in-degree / B_i``.  The paper sets ``V`` as
+    small as possible subject to the buffers fitting, hence the ceiling.
+
+    ``in_degrees`` may be supplied to avoid re-scanning the edges for
+    every worker (only consulted on the Eq. 6 path).
+    """
+    n_i = partition.size_of(worker)
+    if buffer_messages is None or n_i == 0:
+        return 1
+    t = partition.num_workers
+    if combinable:
+        needed = 2 * n_i + n_i * t
+    else:
+        if in_degrees is None:
+            in_degrees = graph.in_degrees()
+        needed = sum(
+            in_degrees[v] for v in partition.vertices_of(worker)
+        )
+    return max(1, math.ceil(needed / buffer_messages))
+
+
+@dataclass
+class Worker:
+    """One computational node of the simulated cluster."""
+
+    worker_id: int
+    vertices: List[int]
+    disk: SimulatedDisk
+    adjacency: Optional[AdjacencyStore] = None
+    veblock: Optional[VEBlockStore] = None
+    message_store: Any = None  # Spilling- or OnlineMessageStore
+    vertex_cache: Optional[LRUVertexCache] = None
+
+    def memory_bytes(self) -> int:
+        """Buffered message bytes + metadata (the Fig. 14d/23 metric)."""
+        total = 0
+        if self.message_store is not None:
+            total += self.message_store.memory_bytes
+        if self.veblock is not None:
+            total += self.veblock.metadata_memory_bytes()
+        if self.vertex_cache is not None:
+            total += self.vertex_cache.memory_bytes
+        return total
+
+
+class Runtime:
+    """All mutable state of one running job."""
+
+    def __init__(
+        self, graph: Graph, program: VertexProgram, config: JobConfig
+    ) -> None:
+        self.graph = graph
+        self.program = program
+        self.config = config
+        if config.partition == "range":
+            self.partition = range_partition(
+                graph.num_vertices, config.num_workers
+            )
+        else:
+            self.partition = hash_partition(
+                graph.num_vertices, config.num_workers
+            )
+        self.max_supersteps = (
+            config.max_supersteps
+            if config.max_supersteps is not None
+            else (program.default_max_supersteps or 10_000)
+        )
+        self.ctx = ProgramContext(
+            num_vertices=graph.num_vertices,
+            superstep=0,
+            out_degree=graph.out_degree,
+            max_supersteps=self.max_supersteps,
+        )
+        self.network = SimulatedNetwork(
+            num_workers=config.num_workers,
+            profile=config.cluster.disk,
+            sending_threshold_bytes=config.sending_threshold_bytes,
+            request_bytes=config.sizes.pull_request,
+        )
+        self.workers: List[Worker] = []
+        self.layout: Optional[BlockLayout] = None
+        self.reverse: Optional[List[List]] = None
+        # shared vertex state
+        self.values: List[Any] = []
+        self.resp_prev: List[bool] = []
+        self.resp_next: List[bool] = []
+        self.load_metrics = LoadMetrics()
+        self._init_state()
+
+    # ------------------------------------------------------------------
+    def _init_state(self) -> None:
+        n = self.graph.num_vertices
+        self.ctx.superstep = 0
+        self.values = [
+            self.program.initial_value(v, self.ctx) for v in range(n)
+        ]
+        self.resp_prev = [False] * n
+        self.resp_next = [False] * n
+
+    def reset_for_restart(self) -> None:
+        """Recompute-from-scratch recovery: drop all iteration state."""
+        self._init_state()
+        for worker in self.workers:
+            if worker.message_store is not None:
+                worker.message_store.load()  # drain without using the result
+            if worker.vertex_cache is not None:
+                self._reset_cache(worker)
+
+    def _reset_cache(self, worker: Worker) -> None:
+        worker.vertex_cache = LRUVertexCache(
+            capacity=worker.vertex_cache._capacity,
+            sizes=self.config.sizes,
+            disk=worker.disk,
+        )
+
+    # ------------------------------------------------------------------
+    # setup / loading
+    # ------------------------------------------------------------------
+    def needs_adjacency(self) -> bool:
+        return self.config.mode in ("push", "pushm", "hybrid")
+
+    def needs_veblock(self) -> bool:
+        return self.config.mode in ("bpull", "hybrid")
+
+    def setup(self) -> None:
+        """Build workers and their storage; account the loading phase."""
+        cfg = self.config
+        graph = self.graph
+        if self.needs_veblock():
+            counts = []
+            in_degrees = (
+                None if self.program.combinable else self._in_degrees()
+            )
+            for w in range(cfg.num_workers):
+                if cfg.vblocks_per_worker is not None:
+                    counts.append(cfg.vblocks_per_worker)
+                else:
+                    counts.append(
+                        choose_vblocks_per_worker(
+                            graph,
+                            self.partition,
+                            w,
+                            cfg.message_buffer_per_worker,
+                            self.program.combinable,
+                            in_degrees=in_degrees,
+                        )
+                    )
+            self.layout = BlockLayout.build(self.partition, counts)
+        if cfg.mode == "pull":
+            self.reverse = graph.reverse_adjacency()
+
+        fresh_messages = self._make_message_store
+        for w in range(cfg.num_workers):
+            local = list(self.partition.vertices_of(w))
+            disk = SimulatedDisk(enabled=cfg.graph_on_disk)
+            worker = Worker(worker_id=w, vertices=local, disk=disk)
+            if self.needs_adjacency():
+                worker.adjacency = AdjacencyStore(
+                    graph, local, disk, cfg.sizes,
+                    block_vertices=cfg.adjacency_block_vertices,
+                )
+            if self.needs_veblock():
+                worker.veblock = VEBlockStore(
+                    graph,
+                    self.partition,
+                    w,
+                    self.layout,
+                    disk,
+                    cfg.sizes,
+                    fragment_clustering=cfg.fragment_clustering,
+                )
+            if cfg.mode in ("push", "pushm", "hybrid"):
+                worker.message_store = fresh_messages(worker)
+            if cfg.mode == "pull":
+                capacity = (
+                    cfg.lru_capacity()
+                    if cfg.vertices_on_disk_for_pull
+                    else None
+                )
+                worker.vertex_cache = LRUVertexCache(
+                    capacity=capacity, sizes=cfg.sizes, disk=disk
+                )
+            self.workers.append(worker)
+        self._account_loading()
+
+    def _make_message_store(self, worker: Worker):
+        cfg = self.config
+        if cfg.mode == "pushm":
+            if not self.program.combinable:
+                raise ValueError(
+                    "pushm (MOCgraph online computing) requires a "
+                    "combinable program; "
+                    f"{self.program.name} is not"
+                )
+            hot = self._hot_vertices(worker)
+            return OnlineMessageStore(
+                hot, cfg.sizes, worker.disk, self.program.combine
+            )
+        combine = (
+            self.program.combine
+            if (cfg.receiver_combine and self.program.combinable)
+            else None
+        )
+        return SpillingMessageStore(
+            capacity=cfg.message_buffer_per_worker,
+            sizes=cfg.sizes,
+            disk=worker.disk,
+            combine=combine,
+        )
+
+    def _hot_vertices(self, worker: Worker) -> List[int]:
+        """MOCgraph keeps the highest in-degree vertices memory-resident."""
+        budget = self.config.message_buffer_per_worker
+        if budget is None:
+            return worker.vertices
+        in_degs = self._in_degrees()
+        ranked = sorted(worker.vertices, key=lambda v: (-in_degs[v], v))
+        return ranked[:budget]
+
+    _in_degree_cache: Optional[List[int]] = None
+
+    def _in_degrees(self) -> List[int]:
+        if self._in_degree_cache is None:
+            self._in_degree_cache = self.graph.in_degrees()
+        return self._in_degree_cache
+
+    # ------------------------------------------------------------------
+    def _account_loading(self) -> None:
+        """Charge the graph-loading phase (Fig. 16's cost model).
+
+        Building the adjacency list writes the records once.  Building
+        VE-BLOCK additionally external-sorts the edges into
+        (block, svertex) order: write temp runs, read them back, write
+        the final Eblocks with fragment auxiliary data — more bytes and
+        more CPU than adj, as Fig. 16 shows.
+        """
+        cfg = self.config
+        cpu_total = 0.0
+        worker_seconds = []
+        structures = []
+        if self.needs_adjacency():
+            structures.append("adj")
+        if self.needs_veblock():
+            structures.append("veblock")
+        for worker in self.workers:
+            cpu = 0.0
+            before = worker.disk.snapshot()
+            if worker.adjacency is not None:
+                worker.adjacency.charge_load()
+                cpu += (
+                    worker.adjacency.num_local_edges
+                    * cfg.cluster.cpu.load_parse_per_edge
+                )
+            if worker.veblock is not None:
+                num_edges = sum(
+                    self.graph.out_degree(v) for v in worker.vertices
+                )
+                edge_bytes = cfg.sizes.edges(num_edges)
+                worker.disk.write(edge_bytes, sequential=True)  # temp runs
+                worker.disk.read(edge_bytes, sequential=True)   # sort read
+                worker.veblock.charge_load()                     # final layout
+                cpu += (
+                    2.0
+                    * num_edges
+                    * cfg.cluster.cpu.load_parse_per_edge
+                )
+            cpu /= cfg.cluster.cpu.speed
+            delta = worker.disk.snapshot()
+            delta.random_read -= before.random_read
+            delta.random_write -= before.random_write
+            delta.seq_read -= before.seq_read
+            delta.seq_write -= before.seq_write
+            self.load_metrics.io.add(delta)
+            cpu_total += cpu
+            worker_seconds.append(cfg.cluster.disk.io_seconds(delta) + cpu)
+        self.load_metrics.structures = "+".join(structures) or "none"
+        self.load_metrics.cpu_seconds = cpu_total
+        self.load_metrics.elapsed_seconds = (
+            max(worker_seconds) if worker_seconds else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # helpers used by the modes
+    # ------------------------------------------------------------------
+    def owner(self, vid: int) -> int:
+        return self.partition.owner(vid)
+
+    def swap_flags(self) -> None:
+        self.resp_prev = self.resp_next
+        self.resp_next = [False] * self.graph.num_vertices
+
+    def responding_count(self) -> int:
+        return sum(1 for flag in self.resp_next if flag)
+
+    def pending_messages(self) -> int:
+        return sum(
+            w.message_store.pending_count
+            for w in self.workers
+            if w.message_store is not None
+        )
+
+    def total_fragments(self) -> int:
+        return sum(
+            w.veblock.total_fragments()
+            for w in self.workers
+            if w.veblock is not None
+        )

@@ -1,0 +1,115 @@
+"""Adjacency-list graph store — the layout used by the push family.
+
+Giraph keeps each partition as an adjacency list: a sequence of
+``(id, val, |Vo|, Vo)`` records, physically stored in *blocks*.  During
+a superstep the worker reads the out-edge lists of sending vertices at
+block granularity: touching one vertex in a block pulls in the whole
+block's edges (the paper relies on this in Section 6.2 — it is why
+``C_io(push)`` is insensitive to active-vertex fluctuations and predicts
+so well).  The charged bytes are ``IO(E_t)`` in Eq. 7; updated vertex
+values are charged as sequential writes.
+
+The store holds no data of its own — vertex values live in the worker and
+edges in the shared :class:`~repro.core.graph.Graph`; the store's job is
+byte accounting against the worker's :class:`SimulatedDisk`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.graph import Graph
+from repro.storage.disk import SimulatedDisk
+from repro.storage.records import RecordSizes
+
+__all__ = ["AdjacencyStore", "DEFAULT_ADJ_BLOCK_VERTICES"]
+
+#: vertices per adjacency block (Giraph-style physical storage rows).
+DEFAULT_ADJ_BLOCK_VERTICES = 64
+
+
+class AdjacencyStore:
+    """Per-worker adjacency-list storage with block-granular accounting."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertices: Iterable[int],
+        disk: SimulatedDisk,
+        sizes: RecordSizes,
+        block_vertices: int = DEFAULT_ADJ_BLOCK_VERTICES,
+    ) -> None:
+        self._graph = graph
+        self._vertices = list(vertices)
+        self._disk = disk
+        self._sizes = sizes
+        self._block_vertices = max(1, block_vertices)
+        # vid -> block index, block index -> total edge bytes
+        self._block_of: Dict[int, int] = {}
+        self._block_edge_bytes: List[int] = []
+        for idx, vid in enumerate(self._vertices):
+            block = idx // self._block_vertices
+            self._block_of[vid] = block
+            if block == len(self._block_edge_bytes):
+                self._block_edge_bytes.append(0)
+            self._block_edge_bytes[block] += sizes.edges(
+                graph.out_degree(vid)
+            )
+        self._touched: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_write_bytes(self) -> int:
+        """Bytes written to build this store (Fig. 16's ``adj`` bar)."""
+        num_edges = sum(self._graph.out_degree(v) for v in self._vertices)
+        return self._sizes.vertices(len(self._vertices)) + self._sizes.edges(
+            num_edges
+        )
+
+    def charge_load(self) -> None:
+        """Charge the sequential write of the freshly built store."""
+        self._disk.write(self.load_write_bytes(), sequential=True)
+
+    # ------------------------------------------------------------------
+    # superstep accesses
+    # ------------------------------------------------------------------
+    def read_vertex(self, vid: int) -> None:
+        """Charge reading one vertex record (part of ``IO(V_t)``)."""
+        self._disk.read(self._sizes.vertex_record, sequential=True)
+
+    def write_vertex(self, vid: int) -> None:
+        """Charge writing one updated vertex record."""
+        self._disk.write(self._sizes.vertex_record, sequential=True)
+
+    def begin_superstep(self) -> None:
+        """Forget which adjacency blocks this superstep has read."""
+        self._touched.clear()
+
+    def read_out_edges(self, vid: int) -> Tuple[List[Tuple[int, float]], int]:
+        """Return *vid*'s out-edges plus the bytes newly charged.
+
+        The first touch of an adjacency block in a superstep reads the
+        whole block sequentially; later touches are free (the block is
+        already streaming through memory).
+        """
+        charged = 0
+        block = self._block_of.get(vid)
+        if block is not None and block not in self._touched:
+            self._touched.add(block)
+            charged = self._block_edge_bytes[block]
+            self._disk.read(charged, sequential=True)
+        return self._graph.out_edges(vid), charged
+
+    def estimate_edge_bytes(self, responding) -> int:
+        """Bytes one push superstep would read given responding flags."""
+        blocks = {
+            self._block_of[v]
+            for v in self._vertices
+            if responding[v]
+        }
+        return sum(self._block_edge_bytes[b] for b in blocks)
+
+    @property
+    def num_local_edges(self) -> int:
+        return sum(self._graph.out_degree(v) for v in self._vertices)

@@ -1,0 +1,189 @@
+"""Receiver-side message stores for the push family.
+
+:class:`SpillingMessageStore` models Giraph: a worker keeps at most
+``B_i`` incoming messages in memory and spills the rest to local disk.
+Spills are *random* writes (messages arrive in arbitrary destination
+order — the poor temporal locality the paper blames), and ``load()``
+reads spilled bytes back sequentially after Giraph's sort-merge, which
+also costs CPU per spilled message.
+
+:class:`OnlineMessageStore` models MOCgraph's message online computing:
+the memory budget caches *vertices* (hot = highest in-degree, emulating
+MOCgraph's hot-aware re-partitioning); a message to a memory-resident
+vertex is folded into an in-memory accumulator immediately (zero disk
+bytes), and only messages to disk-resident vertices spill.  Requires a
+commutative/associative combiner, which is why MOCgraph is absent from
+the LPA and SA experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.records import RecordSizes
+
+__all__ = ["SpillingMessageStore", "OnlineMessageStore", "LoadResult"]
+
+
+class LoadResult:
+    """Outcome of draining a message store at the start of a superstep."""
+
+    __slots__ = ("messages", "spilled_read", "spilled_count")
+
+    def __init__(
+        self,
+        messages: Dict[int, List[Any]],
+        spilled_read: int,
+        spilled_count: int,
+    ) -> None:
+        self.messages = messages          #: dst vertex -> message values
+        self.spilled_read = spilled_read  #: bytes read back from disk
+        self.spilled_count = spilled_count
+
+
+class SpillingMessageStore:
+    """Giraph-style receiver buffer with disk spill.
+
+    Parameters
+    ----------
+    capacity:
+        ``B_i`` in messages; ``None`` = unlimited (sufficient memory).
+    combine:
+        Optional receiver-side Combiner.  Giraph's Combiner only works on
+        memory-resident messages; combined messages do not consume extra
+        buffer slots.  The paper's experiments run push *without* it by
+        default (Section 5.1: not cost-effective at the sender, optional
+        at the receiver), so the engine passes ``None`` unless
+        ``receiver_combine`` is set.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int],
+        sizes: RecordSizes,
+        disk: SimulatedDisk,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        self._capacity = capacity
+        self._sizes = sizes
+        self._disk = disk
+        self._combine = combine
+        self._mem: Dict[int, List[Any]] = {}
+        self._spill: Dict[int, List[Any]] = {}
+        self._mem_count = 0
+        self._spill_count = 0
+        self.total_deposited = 0
+        self.total_spilled = 0
+
+    # ------------------------------------------------------------------
+    def deposit(self, dst: int, value: Any) -> None:
+        """Receive one message for vertex *dst*."""
+        self.total_deposited += 1
+        if self._combine is not None and dst in self._mem:
+            bucket = self._mem[dst]
+            bucket[0] = self._combine(bucket[0], value)
+            return
+        if self._capacity is None or self._mem_count < self._capacity:
+            self._mem.setdefault(dst, []).append(value)
+            self._mem_count += 1
+            return
+        # Buffer full: spill to disk.  Random write — incoming messages
+        # have no destination locality.
+        self._spill.setdefault(dst, []).append(value)
+        self._spill_count += 1
+        self.total_spilled += 1
+        self._disk.write(self._sizes.message, sequential=False)
+
+    def load(self) -> LoadResult:
+        """Drain the store (the push family's ``load()``).
+
+        Spilled bytes are charged as sequential reads (post sort-merge).
+        """
+        spilled_count = self._spill_count
+        spilled_read = self._sizes.messages(spilled_count)
+        if spilled_read:
+            self._disk.read(spilled_read, sequential=True)
+        merged = self._mem
+        for dst, values in self._spill.items():
+            merged.setdefault(dst, []).extend(values)
+        self._mem = {}
+        self._spill = {}
+        self._mem_count = 0
+        self._spill_count = 0
+        return LoadResult(merged, spilled_read, spilled_count)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return self._mem_count + self._spill_count
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of buffered in-memory messages (Fig. 14d accounting)."""
+        return self._sizes.messages(self._mem_count)
+
+    @property
+    def spilled_pending(self) -> int:
+        return self._spill_count
+
+
+class OnlineMessageStore:
+    """MOCgraph-style store: online computing for hot vertices."""
+
+    def __init__(
+        self,
+        hot_vertices: Iterable[int],
+        sizes: RecordSizes,
+        disk: SimulatedDisk,
+        combine: Callable[[Any, Any], Any],
+    ) -> None:
+        self._hot = frozenset(hot_vertices)
+        self._sizes = sizes
+        self._disk = disk
+        self._combine = combine
+        self._acc: Dict[int, Any] = {}
+        self._spill: Dict[int, List[Any]] = {}
+        self._spill_count = 0
+        self.total_deposited = 0
+        self.total_spilled = 0
+
+    def deposit(self, dst: int, value: Any) -> None:
+        self.total_deposited += 1
+        if dst in self._hot:
+            if dst in self._acc:
+                self._acc[dst] = self._combine(self._acc[dst], value)
+            else:
+                self._acc[dst] = value
+            return
+        self._spill.setdefault(dst, []).append(value)
+        self._spill_count += 1
+        self.total_spilled += 1
+        self._disk.write(self._sizes.message, sequential=False)
+
+    def load(self) -> LoadResult:
+        spilled_count = self._spill_count
+        spilled_read = self._sizes.messages(spilled_count)
+        if spilled_read:
+            self._disk.read(spilled_read, sequential=True)
+        merged: Dict[int, List[Any]] = {
+            dst: [value] for dst, value in self._acc.items()
+        }
+        for dst, values in self._spill.items():
+            merged.setdefault(dst, []).extend(values)
+        self._acc = {}
+        self._spill = {}
+        self._spill_count = 0
+        return LoadResult(merged, spilled_read, spilled_count)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._acc) + self._spill_count
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._sizes.messages(len(self._acc))
+
+    @property
+    def spilled_pending(self) -> int:
+        return self._spill_count

@@ -1,0 +1,76 @@
+"""On-disk record layouts and their byte sizes.
+
+The paper's Theorem 2 proof reasons about the average sizes ``S_m``
+(message), ``S_v`` (vertex value), ``S_e`` (edge) and ``S_f`` (fragment
+auxiliary data).  We fix a Java-ish layout so that all engines charge
+identical, comparable byte counts:
+
+========================  =====  =========================================
+record                    bytes  layout
+========================  =====  =========================================
+vertex id                  4     int32
+vertex value               8     double / long
+vertex record             16     id(4) + value(8) + out-degree(4)
+edge                       8     dst id(4) + weight-or-meta(4)
+message                   12     dst id(4) + value(8)
+concatenated msg value     8     value only; dst id amortised over group
+fragment auxiliary data    8     svertex id(4) + edge count(4)
+pull request               8     Vblock id(4) + requester(4)
+========================  =====  =========================================
+
+These constants satisfy the Theorem 2 premises ``S_m >= S_v``,
+``S_m >= S_f`` and ``S_m >= S_e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecordSizes", "DEFAULT_SIZES"]
+
+
+@dataclass(frozen=True)
+class RecordSizes:
+    """Byte sizes of every record the engines move to disk or network."""
+
+    vertex_id: int = 4
+    vertex_value: int = 8
+    edge: int = 8
+    message: int = 12
+    message_value: int = 8
+    fragment_aux: int = 8
+    pull_request: int = 8
+
+    @property
+    def vertex_record(self) -> int:
+        """One adjacency/Vblock vertex entry: ``(id, val, |Vo|)``."""
+        return self.vertex_id + self.vertex_value + 4
+
+    def messages(self, count: int) -> int:
+        """Bytes of *count* plain (un-concatenated) messages."""
+        return count * self.message
+
+    def concatenated(self, values: int, groups: int) -> int:
+        """Bytes of *values* message values shipped in *groups* groups.
+
+        Each group shares one destination-vertex id, so the id is paid
+        once per group instead of once per value.
+        """
+        return values * self.message_value + groups * self.vertex_id
+
+    def combined(self, groups: int) -> int:
+        """Bytes of *groups* fully combined messages (one per group)."""
+        return groups * self.message
+
+    def edges(self, count: int) -> int:
+        return count * self.edge
+
+    def vertices(self, count: int) -> int:
+        return count * self.vertex_record
+
+    def fragments(self, count: int) -> int:
+        return count * self.fragment_aux
+
+
+#: The layout used everywhere unless a test overrides it.
+DEFAULT_SIZES = RecordSizes()

@@ -1,0 +1,366 @@
+"""VE-BLOCK: the block-centric graph layout behind b-pull (Section 4.1).
+
+Vertices are range-partitioned into ``V`` fixed-size **Vblocks**
+``b_1..b_V``; for each pair of blocks ``(i, j)`` a variable-size
+**Eblock** ``g_ij`` holds the edges from svertices in ``b_i`` to
+dvertices in ``b_j``.  Inside an Eblock, edges sharing a svertex are
+clustered into a **fragment** whose auxiliary data (svertex id + edge
+count) costs ``S_f`` bytes on disk.
+
+Each Vblock ``b_j`` carries metadata ``X_j`` = (#svertices, total
+in-degree, total out-degree, bitmap, responding indicator).  Bit ``i`` of
+the bitmap says ``g_ji`` is non-empty; ``res`` says some svertex in
+``b_j`` set its responding flag, so the block may need to answer pull
+requests this superstep.
+
+Answering a pull request for block ``i`` (Algorithm 2) scans every local
+Eblock ``g_ji`` whose metadata passes both checks: the *whole* Eblock is
+read sequentially (fragment aux + edges — Appendix C's "useless edges"
+effect at coarse granularity), and the svertex *value* of each responding
+fragment is read randomly from the Vblock (``IO(V_rr)`` in Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.graph import Graph, Partition
+from repro.storage.disk import SimulatedDisk
+from repro.storage.records import RecordSizes
+
+__all__ = ["BlockLayout", "EBlock", "VBlockMeta", "VEBlockStore"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Global assignment of vertices to Vblocks across the cluster.
+
+    Every worker's local vertex list (in id order) is chopped into
+    ``blocks_per_worker[w]`` contiguous chunks; global block ids number
+    the chunks worker-by-worker, so blocks of one worker are contiguous.
+    """
+
+    num_workers: int
+    #: global block id -> owning worker.
+    block_owner: Tuple[int, ...]
+    #: global block id -> tuple of vertex ids in the block.
+    block_vertices: Tuple[Tuple[int, ...], ...]
+    #: vertex id -> global block id.
+    block_of_vertex: Tuple[int, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_owner)
+
+    def blocks_of(self, worker: int) -> List[int]:
+        return [
+            b for b in range(self.num_blocks) if self.block_owner[b] == worker
+        ]
+
+    @staticmethod
+    def build(
+        partition: Partition, blocks_per_worker: Sequence[int]
+    ) -> "BlockLayout":
+        """Chop each worker's vertex range into its share of Vblocks."""
+        if len(blocks_per_worker) != partition.num_workers:
+            raise ValueError("need one block count per worker")
+        owner: List[int] = []
+        blocks: List[Tuple[int, ...]] = []
+        block_of = [0] * partition.num_vertices
+        for worker in range(partition.num_workers):
+            local = list(partition.vertices_of(worker))
+            count = max(1, min(blocks_per_worker[worker], max(1, len(local))))
+            base, extra = divmod(len(local), count)
+            cursor = 0
+            for k in range(count):
+                size = base + (1 if k < extra else 0)
+                chunk = tuple(local[cursor : cursor + size])
+                cursor += size
+                block_id = len(blocks)
+                blocks.append(chunk)
+                owner.append(worker)
+                for vid in chunk:
+                    block_of[vid] = block_id
+        return BlockLayout(
+            num_workers=partition.num_workers,
+            block_owner=tuple(owner),
+            block_vertices=tuple(blocks),
+            block_of_vertex=tuple(block_of),
+        )
+
+
+@dataclass
+class EBlock:
+    """Edges from one source Vblock into one destination Vblock.
+
+    ``fragments`` lists ``(svertex, edges)`` with edges clustered per
+    svertex, in svertex-id order (the clustering that makes Pull-Respond
+    sequential).
+    """
+
+    src_block: int
+    dst_block: int
+    fragments: List[Tuple[int, List[Tuple[int, float]]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for _v, edges in self.fragments)
+
+    def bytes_on_disk(self, sizes: RecordSizes) -> int:
+        return sizes.fragments(self.num_fragments) + sizes.edges(self.num_edges)
+
+
+@dataclass
+class VBlockMeta:
+    """Per-Vblock metadata ``X_j`` (kept in memory on the owner)."""
+
+    block_id: int
+    num_vertices: int
+    in_degree: int
+    out_degree: int
+    #: destination block ids with at least one edge from this block.
+    bitmap: Set[int] = field(default_factory=set)
+    #: responding indicator, refreshed every superstep.
+    res: bool = False
+
+    def memory_bytes(self, num_blocks: int) -> int:
+        """Metadata footprint: counters + one bit per block."""
+        return 16 + (num_blocks + 7) // 8
+
+
+class VEBlockStore:
+    """Per-worker VE-BLOCK storage with I/O accounting.
+
+    Parameters
+    ----------
+    graph, partition, worker:
+        The worker's slice of the graph.
+    layout:
+        Global :class:`BlockLayout` (shared by all workers).
+    disk:
+        The worker's simulated disk.
+    sizes:
+        Record byte sizes.
+    fragment_clustering:
+        When False, every edge becomes its own fragment — the ablation
+        that shows why clustering matters (Theorem 1 makes fragment count,
+        not edge count, the I/O driver).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        partition: Partition,
+        worker: int,
+        layout: BlockLayout,
+        disk: SimulatedDisk,
+        sizes: RecordSizes,
+        fragment_clustering: bool = True,
+    ) -> None:
+        self._graph = graph
+        self._worker = worker
+        self._layout = layout
+        self._disk = disk
+        self._sizes = sizes
+        self._local_blocks = layout.blocks_of(worker)
+        self._eblocks: Dict[Tuple[int, int], EBlock] = {}
+        self.meta: Dict[int, VBlockMeta] = {}
+        #: per-vertex number of fragments (distinct destination blocks).
+        self._fragments_of_vertex: Dict[int, int] = {}
+        self._build(partition, fragment_clustering)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, partition: Partition, clustering: bool) -> None:
+        layout = self._layout
+        in_degs: Dict[int, int] = {}
+        for src_block in self._local_blocks:
+            per_dst: Dict[int, List[Tuple[int, List[Tuple[int, float]]]]] = {}
+            out_deg = 0
+            for vid in layout.block_vertices[src_block]:
+                buckets: Dict[int, List[Tuple[int, float]]] = {}
+                for dst, weight in self._graph.out_edges(vid):
+                    buckets.setdefault(
+                        layout.block_of_vertex[dst], []
+                    ).append((dst, weight))
+                    out_deg += 1
+                self._fragments_of_vertex[vid] = len(buckets)
+                for dst_block, edges in buckets.items():
+                    frags = per_dst.setdefault(dst_block, [])
+                    if clustering:
+                        frags.append((vid, edges))
+                    else:
+                        frags.extend((vid, [edge]) for edge in edges)
+            for dst_block, frags in per_dst.items():
+                self._eblocks[(src_block, dst_block)] = EBlock(
+                    src_block=src_block, dst_block=dst_block, fragments=frags
+                )
+            if not clustering:
+                # one fragment per edge: override the per-vertex counts
+                for vid in layout.block_vertices[src_block]:
+                    self._fragments_of_vertex[vid] = self._graph.out_degree(vid)
+            self.meta[src_block] = VBlockMeta(
+                block_id=src_block,
+                num_vertices=len(layout.block_vertices[src_block]),
+                in_degree=0,  # filled below
+                out_degree=out_deg,
+                bitmap={dst for (_s, dst) in self._eblocks if _s == src_block},
+            )
+        # in-degrees of local blocks need a pass over all edges once.
+        for src in self._graph.vertices():
+            for dst, _w in self._graph.out_edges(src):
+                blk = layout.block_of_vertex[dst]
+                if blk in self.meta:
+                    in_degs[blk] = in_degs.get(blk, 0) + 1
+        for blk, meta in self.meta.items():
+            meta.in_degree = in_degs.get(blk, 0)
+
+    # ------------------------------------------------------------------
+    # sizes and loading
+    # ------------------------------------------------------------------
+    @property
+    def local_blocks(self) -> List[int]:
+        return self._local_blocks
+
+    @property
+    def layout(self) -> BlockLayout:
+        return self._layout
+
+    def total_fragments(self) -> int:
+        """``f`` — fragments covering all local outgoing edges."""
+        return sum(eb.num_fragments for eb in self._eblocks.values())
+
+    def fragments_of_vertex(self, vid: int) -> int:
+        return self._fragments_of_vertex.get(vid, 0)
+
+    def eblock(self, src_block: int, dst_block: int) -> Optional[EBlock]:
+        return self._eblocks.get((src_block, dst_block))
+
+    def load_write_bytes(self) -> int:
+        """Bytes written to build VE-BLOCK (Vblocks + Eblocks + aux)."""
+        vertex_bytes = sum(
+            self._sizes.vertices(len(self._layout.block_vertices[b]))
+            for b in self._local_blocks
+        )
+        eblock_bytes = sum(
+            eb.bytes_on_disk(self._sizes) for eb in self._eblocks.values()
+        )
+        return vertex_bytes + eblock_bytes
+
+    def charge_load(self) -> None:
+        self._disk.write(self.load_write_bytes(), sequential=True)
+
+    def metadata_memory_bytes(self) -> int:
+        num_blocks = self._layout.num_blocks
+        return sum(m.memory_bytes(num_blocks) for m in self.meta.values())
+
+    # ------------------------------------------------------------------
+    # superstep accesses
+    # ------------------------------------------------------------------
+    def refresh_res(self, responding: Sequence[bool]) -> None:
+        """Recompute every local block's ``res`` indicator from flags."""
+        for blk, meta in self.meta.items():
+            meta.res = any(
+                responding[v] for v in self._layout.block_vertices[blk]
+            )
+
+    def scan_for_request(
+        self, dst_block: int, responding: Sequence[bool]
+    ) -> Iterator[Tuple[int, List[Tuple[int, float]]]]:
+        """Answer a pull request for *dst_block* (Algorithm 2).
+
+        Yields ``(svertex, edges)`` for each responding fragment, charging
+
+        * a sequential read of every scanned Eblock (aux + all edges), and
+        * a random read of ``S_v`` per responding fragment (``IO(V_rr)``).
+
+        Blocks whose metadata fails the ``res``/bitmap checks are skipped
+        for free — that is the whole point of ``X_j``.
+        """
+        sizes = self._sizes
+        for src_block in self._local_blocks:
+            meta = self.meta[src_block]
+            if not meta.res or dst_block not in meta.bitmap:
+                continue
+            eblock = self._eblocks[(src_block, dst_block)]
+            self._disk.read(eblock.bytes_on_disk(sizes), sequential=True)
+            self._stats_edges += eblock.num_edges
+            self._stats_aux += sizes.fragments(eblock.num_fragments)
+            self._stats_edge_bytes += sizes.edges(eblock.num_edges)
+            for svertex, edges in eblock.fragments:
+                if responding[svertex]:
+                    self._disk.read(sizes.vertex_value, sequential=False)
+                    self._stats_vrr += sizes.vertex_value
+                    yield svertex, edges
+
+    def begin_superstep_stats(self) -> None:
+        """Reset the per-superstep scan statistics."""
+        self._stats_edges = 0
+        self._stats_aux = 0
+        self._stats_edge_bytes = 0
+        self._stats_vrr = 0
+
+    # scan statistics, populated by scan_for_request
+    _stats_edges: int = 0
+    _stats_aux: int = 0
+    _stats_edge_bytes: int = 0
+    _stats_vrr: int = 0
+
+    @property
+    def scan_stats(self) -> Tuple[int, int, int, int]:
+        """(edges scanned, aux bytes, edge bytes, vrr bytes) this superstep."""
+        return (
+            self._stats_edges,
+            self._stats_aux,
+            self._stats_edge_bytes,
+            self._stats_vrr,
+        )
+
+    def charge_block_update(self, block_id: int) -> int:
+        """Charge read+write of a whole Vblock's records (``IO(V_t)``).
+
+        Returns the vertex-record bytes involved (read + written).
+        """
+        nbytes = self._sizes.vertices(len(self._layout.block_vertices[block_id]))
+        self._disk.read(nbytes, sequential=True)
+        self._disk.write(nbytes, sequential=True)
+        return 2 * nbytes
+
+    # ------------------------------------------------------------------
+    # estimation (used by hybrid while running push; Section 5.3)
+    # ------------------------------------------------------------------
+    def estimate_bpull_scan(
+        self, responding: Sequence[bool]
+    ) -> Tuple[int, int, int]:
+        """Bytes b-pull *would* scan given these responding flags.
+
+        Returns ``(edge_bytes, aux_bytes, vrr_bytes)``: all Eblocks of
+        blocks containing a responding svertex are scanned in full, and
+        each responding fragment costs one random ``S_v`` read.
+        """
+        sizes = self._sizes
+        edge_bytes = 0
+        aux_bytes = 0
+        vrr_bytes = 0
+        for src_block in self._local_blocks:
+            block_vertices = self._layout.block_vertices[src_block]
+            if not any(responding[v] for v in block_vertices):
+                continue
+            for dst_block in self.meta[src_block].bitmap:
+                eblock = self._eblocks[(src_block, dst_block)]
+                edge_bytes += sizes.edges(eblock.num_edges)
+                aux_bytes += sizes.fragments(eblock.num_fragments)
+            vrr_bytes += sizes.vertex_value * sum(
+                self._fragments_of_vertex[v]
+                for v in block_vertices
+                if responding[v]
+            )
+        return edge_bytes, aux_bytes, vrr_bytes

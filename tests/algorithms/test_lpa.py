@@ -1,0 +1,78 @@
+"""LPA semantics: synchronous majority labels with small-label ties."""
+
+import pytest
+
+from repro.algorithms.lpa import LPA
+from repro.core.api import ProgramContext
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph
+
+
+CFG = JobConfig(mode="push", num_workers=2, graph_on_disk=False)
+
+
+def ctx(superstep=2, n=10):
+    return ProgramContext(num_vertices=n, superstep=superstep,
+                          out_degree=lambda v: 1, max_supersteps=5)
+
+
+class TestLPAUpdate:
+    def test_majority_wins(self):
+        prog = LPA()
+        result = prog.update(0, 0, [7, 7, 3], ctx())
+        assert result.value == 7
+
+    def test_tie_prefers_smaller_label(self):
+        prog = LPA()
+        result = prog.update(0, 0, [7, 3, 7, 3], ctx())
+        assert result.value == 3
+
+    def test_no_messages_keeps_label(self):
+        prog = LPA()
+        result = prog.update(4, 42, [], ctx())
+        assert result.value == 42
+
+    def test_always_responds(self):
+        prog = LPA()
+        assert prog.update(0, 0, [1], ctx()).respond is True
+        assert prog.update(0, 0, [], ctx()).respond is True
+
+    def test_not_combinable(self):
+        assert LPA.combinable is False
+        with pytest.raises(NotImplementedError):
+            LPA().combine(1, 2)
+
+
+class TestLPAJobs:
+    def test_two_cliques_converge_to_two_communities(self):
+        # two directed 3-cliques joined by a single weak edge
+        edges = []
+        for group in ((0, 1, 2), (3, 4, 5)):
+            for a in group:
+                for b in group:
+                    if a != b:
+                        edges.append((a, b))
+        edges.append((2, 3))
+        g = Graph(6, edges)
+        result = run_job(g, LPA(supersteps=6), CFG)
+        left = {result.values[v] for v in (0, 1, 2)}
+        right = {result.values[v] for v in (3, 4, 5)}
+        assert len(left) == 1
+        assert len(right) == 1
+
+    def test_fixed_supersteps(self):
+        g = random_graph(40, 4, seed=8)
+        result = run_job(g, LPA(supersteps=4), CFG)
+        assert result.metrics.num_supersteps == 4
+
+    def test_labels_are_vertex_ids(self):
+        g = random_graph(40, 4, seed=8)
+        result = run_job(g, LPA(supersteps=3), CFG)
+        assert all(0 <= label < 40 for label in result.values)
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = Graph(3, [(0, 1), (1, 0)])
+        result = run_job(g, LPA(supersteps=4), CFG)
+        assert result.values[2] == 2

@@ -1,0 +1,94 @@
+"""PhasedBFS — the Multi-Phase-Style workload (Appendix G)."""
+
+import pytest
+
+from repro.algorithms.phased_bfs import PhasedBFS
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph
+
+
+def cfg(mode="push", **kwargs):
+    kwargs.setdefault("num_workers", 3)
+    kwargs.setdefault("message_buffer_per_worker", 20)
+    return JobConfig(mode=mode, **kwargs)
+
+
+def reachable_from(graph, source):
+    seen = {source}
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        for v, _w in graph.out_edges(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen
+
+
+class TestPhasedBFS:
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            PhasedBFS(sources=())
+
+    def test_reachability_matches_dfs_per_source(self):
+        g = random_graph(120, 4, seed=41)
+        sources = (0, 11, 37)
+        result = run_job(g, PhasedBFS(sources=sources), cfg())
+        for k, src in enumerate(sources):
+            expected = reachable_from(g, src)
+            got = {
+                vid for vid, (_p, reached, _f) in enumerate(result.values)
+                if reached[k]
+            }
+            assert got == expected, k
+
+    @pytest.mark.parametrize("mode", ["pushm", "bpull", "hybrid", "pull"])
+    def test_equivalent_across_modes(self, mode):
+        g = random_graph(120, 4, seed=41)
+        reference = run_job(g, PhasedBFS(sources=(0, 11)), cfg("push"))
+        if mode == "pushm":
+            pytest.skip("PhasedBFS messages are not combinable")
+        other = run_job(g, PhasedBFS(sources=(0, 11)), cfg(mode))
+        assert other.values == reference.values
+        assert (other.metrics.num_supersteps
+                == reference.metrics.num_supersteps)
+
+    def test_phases_run_sequentially(self):
+        """Each wave only starts after the previous one has died out:
+        at every superstep, only one phase's messages are in flight."""
+        g = random_graph(120, 4, seed=41)
+        result = run_job(g, PhasedBFS(sources=(0, 11, 37)), cfg())
+        trace = [s.responding_vertices for s in result.metrics.supersteps]
+        # count the quiet boundaries: one between consecutive phases
+        boundaries = sum(
+            1 for a, b in zip(trace, trace[1:]) if a == 0 and b > 0
+        )
+        assert boundaries == 2  # three phases, two restarts
+
+    def test_active_volume_oscillates(self):
+        g = random_graph(120, 4, seed=41)
+        result = run_job(g, PhasedBFS(sources=(0, 11, 37)), cfg())
+        trace = [s.responding_vertices for s in result.metrics.supersteps]
+        peaks = sum(
+            1
+            for i in range(1, len(trace) - 1)
+            if trace[i] > trace[i - 1] and trace[i] >= trace[i + 1]
+            and trace[i] > 5
+        )
+        assert peaks >= 3  # one swell per phase
+
+    def test_unreachable_phase_terminates(self):
+        # source 3 is isolated: its wave covers only itself
+        g = Graph(5, [(0, 1), (1, 2), (2, 0)])
+        result = run_job(g, PhasedBFS(sources=(0, 3)), cfg(num_workers=2))
+        _p, reached, _f = result.values[4]
+        assert reached == (False, False)
+        _p, reached3, _f = result.values[3]
+        assert reached3 == (False, True)
+
+    def test_final_phase_counter(self):
+        g = random_graph(60, 4, seed=42)
+        result = run_job(g, PhasedBFS(sources=(0, 1)), cfg())
+        assert all(p == 2 for p, _r, _f in result.values)

@@ -1,0 +1,106 @@
+"""SA (simulated advertisements) semantics and determinism."""
+
+import pytest
+
+from repro.algorithms.sa import SA, _interested
+from repro.core.api import ProgramContext
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+
+
+CFG = JobConfig(mode="push", num_workers=3, graph_on_disk=False)
+
+
+def ctx(superstep=2, n=50):
+    return ProgramContext(num_vertices=n, superstep=superstep,
+                          out_degree=lambda v: 2, max_supersteps=0)
+
+
+class TestInterest:
+    def test_deterministic(self):
+        assert _interested(5, 2, 55) == _interested(5, 2, 55)
+
+    def test_extremes(self):
+        assert _interested(1, 1, 100) is True
+        assert _interested(1, 1, 0) is False
+
+    def test_varies_by_vertex_and_ad(self):
+        outcomes = {
+            _interested(v, ad, 50) for v in range(20) for ad in range(5)
+        }
+        assert outcomes == {True, False}
+
+
+class TestSAUpdate:
+    def test_source_injects_own_ad_in_superstep_one(self):
+        prog = SA(num_sources=2)
+        result = prog.update(1, ((), ()), [], ctx(superstep=1))
+        assert result.value == ((1,), (1,))
+        assert result.respond is True
+
+    def test_non_source_idle_in_superstep_one(self):
+        prog = SA(num_sources=2)
+        result = prog.update(9, ((), ()), [], ctx(superstep=1))
+        assert result.value == ((), ())
+        assert result.respond is False
+
+    def test_accepts_only_interesting_fresh_ads(self):
+        prog = SA(num_sources=1, interest_percent=100)
+        result = prog.update(9, ((), ()), [(0,), (3,)], ctx())
+        assert result.value[0] == (0, 3)
+        assert result.respond is True
+
+    def test_already_accepted_ad_not_fresh(self):
+        prog = SA(num_sources=1, interest_percent=100)
+        result = prog.update(9, ((3,), ()), [(3,)], ctx())
+        assert result.value == ((3,), ())
+        assert result.respond is False
+
+    def test_zero_interest_never_accepts(self):
+        prog = SA(num_sources=1, interest_percent=0)
+        result = prog.update(9, ((), ()), [(0,), (1,)], ctx())
+        assert result.value == ((), ())
+        assert result.respond is False
+
+    def test_message_carries_only_fresh_ads(self):
+        prog = SA()
+        assert prog.message_value(1, ((1, 2), (2,)), 5, 1.0, ctx()) == (2,)
+        assert prog.message_value(1, ((1, 2), ()), 5, 1.0, ctx()) is None
+
+    def test_invalid_percent_rejected(self):
+        with pytest.raises(ValueError):
+            SA(interest_percent=101)
+
+
+class TestSAJobs:
+    def test_accepted_sets_monotone_and_sources_seeded(self):
+        g = random_graph(80, 5, seed=12)
+        result = run_job(g, SA(num_sources=3, interest_percent=70), CFG)
+        for vid in range(3):
+            accepted, _fresh = result.values[vid]
+            assert vid in accepted
+        for accepted, fresh in result.values:
+            assert set(fresh) <= set(accepted)
+
+    def test_higher_interest_spreads_further(self):
+        g = random_graph(80, 5, seed=12)
+        low = run_job(g, SA(num_sources=3, interest_percent=20), CFG)
+        high = run_job(g, SA(num_sources=3, interest_percent=90), CFG)
+
+        def reach(result):
+            return sum(1 for acc, _f in result.values if acc)
+
+        assert reach(high) >= reach(low)
+
+    def test_deterministic_across_runs(self):
+        g = random_graph(80, 5, seed=12)
+        a = run_job(g, SA(), CFG)
+        b = run_job(g, SA(), CFG)
+        assert a.values == b.values
+
+    def test_converges(self):
+        g = random_graph(60, 4, seed=3)
+        result = run_job(g, SA(num_sources=2), CFG)
+        last = result.metrics.supersteps[-1]
+        assert last.responding_vertices == 0 or last.updated_vertices == 0

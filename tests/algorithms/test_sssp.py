@@ -1,0 +1,83 @@
+"""SSSP correctness against Dijkstra."""
+
+import heapq
+import math
+
+import pytest
+
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph, social_graph, web_graph
+
+
+def dijkstra(graph, source):
+    dist = [math.inf] * graph.num_vertices
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+CFG = JobConfig(mode="push", num_workers=3, graph_on_disk=False)
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_dijkstra_random(self, seed):
+        g = random_graph(100, 5, seed=seed)
+        result = run_job(g, SSSP(source=0), CFG)
+        assert result.values == pytest.approx(dijkstra(g, 0))
+
+    def test_matches_dijkstra_social(self):
+        g = social_graph(150, 6, seed=4)
+        result = run_job(g, SSSP(source=3), CFG)
+        assert result.values == pytest.approx(dijkstra(g, 3))
+
+    def test_matches_dijkstra_web(self):
+        g = web_graph(150, 6, seed=4)
+        result = run_job(g, SSSP(source=7), CFG)
+        assert result.values == pytest.approx(dijkstra(g, 7))
+
+    def test_source_distance_zero(self):
+        g = random_graph(30, 3, seed=5)
+        result = run_job(g, SSSP(source=11), CFG)
+        assert result.values[11] == 0.0
+
+    def test_weighted_shortcut_preferred(self):
+        # direct edge weight 10 vs two-hop path of weight 2+2
+        g = Graph(3, [(0, 2, 10.0), (0, 1, 2.0), (1, 2, 2.0)])
+        result = run_job(g, SSSP(source=0), CFG)
+        assert result.values[2] == pytest.approx(4.0)
+
+    def test_combiner_is_min(self):
+        prog = SSSP()
+        assert prog.combine(3.0, 1.0) == 1.0
+        assert prog.combine_all([5.0, 2.0, 9.0]) == 2.0
+
+    def test_infinite_value_sends_no_message(self):
+        prog = SSSP()
+        from repro.core.api import ProgramContext
+
+        ctx = ProgramContext(num_vertices=3, superstep=2,
+                             out_degree=lambda v: 1, max_supersteps=0)
+        assert prog.message_value(0, math.inf, 1, 1.0, ctx) is None
+        assert prog.message_value(0, 4.0, 1, 1.5, ctx) == 5.5
+
+    def test_only_source_initially_active(self):
+        prog = SSSP(source=2)
+        from repro.core.api import ProgramContext
+
+        ctx = ProgramContext(num_vertices=5, superstep=1,
+                             out_degree=lambda v: 1, max_supersteps=0)
+        assert prog.initially_active(2, ctx)
+        assert not prog.initially_active(0, ctx)

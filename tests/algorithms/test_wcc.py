@@ -1,0 +1,61 @@
+"""WCC (min-label propagation) on symmetrised graphs."""
+
+from repro.algorithms.wcc import WCC
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph
+
+
+CFG = JobConfig(mode="push", num_workers=2, graph_on_disk=False)
+
+
+def symmetrise(graph):
+    g = Graph(graph.num_vertices, name=graph.name)
+    for src, dst, w in graph.edges():
+        g.add_edge(src, dst, w)
+        g.add_edge(dst, src, w)
+    return g
+
+
+def reference_components(graph):
+    """Union-find over the undirected version."""
+    parent = list(range(graph.num_vertices))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for src, dst, _w in graph.edges():
+        ra, rb = find(src), find(dst)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+    return [find(v) for v in range(graph.num_vertices)]
+
+
+class TestWCC:
+    def test_two_components(self):
+        g = symmetrise(Graph(5, [(0, 1), (1, 2), (3, 4)]))
+        result = run_job(g, WCC(), CFG)
+        assert result.values == [0, 0, 0, 3, 3]
+
+    def test_matches_union_find(self):
+        g = symmetrise(random_graph(120, 2, seed=21))
+        result = run_job(g, WCC(), CFG)
+        assert result.values == reference_components(g)
+
+    def test_single_component_min_id(self):
+        g = symmetrise(Graph(4, [(3, 2), (2, 1), (1, 0)]))
+        result = run_job(g, WCC(), CFG)
+        assert result.values == [0, 0, 0, 0]
+
+    def test_isolated_vertices_keep_own_labels(self):
+        g = Graph(3, [])
+        result = run_job(g, WCC(), CFG)
+        assert result.values == [0, 1, 2]
+
+    def test_combiner_is_min(self):
+        assert WCC().combine(5, 3) == 3
+        assert WCC().combine_all([9, 4, 7]) == 4

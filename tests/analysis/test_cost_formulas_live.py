@@ -1,0 +1,44 @@
+"""Eqs. 7/8 evaluated on live runs across the dataset registry."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.analysis.costmodel import cio_bpull_of, cio_push_of
+from repro.core.engine import run_job
+from repro.datasets.registry import DATASETS, SMALL_DATASETS, get_dataset
+
+
+@pytest.mark.parametrize("name", SMALL_DATASETS)
+class TestLiveCostFormulas:
+    def test_push_counters_decompose_into_eq7(self, name):
+        graph = get_dataset(name)
+        result = run_job(graph, PageRank(supersteps=3),
+                         DATASETS[name].job_config("push"))
+        for step in result.metrics.supersteps:
+            # every byte the simulated disks saw is one of Eq. 7's terms
+            # (plus the spilled-read leg, which Eq. 7 folds into the
+            # factor 2 on IO(M_disk))
+            assert step.io.total == (
+                step.io_vertex + step.io_edges_push
+                + step.io_message_spill + step.io_message_read
+            )
+            assert cio_push_of(step) >= step.io_vertex
+
+    def test_bpull_counters_decompose_into_eq8(self, name):
+        graph = get_dataset(name)
+        result = run_job(graph, PageRank(supersteps=3),
+                         DATASETS[name].job_config("bpull"))
+        for step in result.metrics.supersteps:
+            assert step.io.total == cio_bpull_of(step)
+
+    def test_spill_read_balances_spill_write_across_run(self, name):
+        """Every spilled message written this superstep is read back in
+        the next; over a fixed-round run the books differ by at most the
+        final superstep's spill."""
+        graph = get_dataset(name)
+        result = run_job(graph, PageRank(supersteps=4),
+                         DATASETS[name].job_config("push"))
+        steps = result.metrics.supersteps
+        written = sum(s.io_message_spill for s in steps)
+        read = sum(s.io_message_read for s in steps)
+        assert written - read == steps[-1].io_message_spill

@@ -1,0 +1,65 @@
+"""Closed-form cost model: Theorem 1's g(V), Eqs. 7-8, Theorem 2 premise."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    cio_bpull,
+    cio_push,
+    expected_fragments,
+    theorem2_premise,
+)
+
+
+class TestExpectedFragments:
+    def test_single_block_single_fragment(self):
+        assert expected_fragments(1, 10) == pytest.approx(1.0)
+
+    def test_zero_degree_zero_fragments(self):
+        assert expected_fragments(8, 0) == pytest.approx(0.0)
+
+    def test_degree_one_one_fragment(self):
+        assert expected_fragments(8, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_blocks(self):
+        # Theorem 1: E[fragments] grows with the number of Vblocks.
+        values = [expected_fragments(v, 12) for v in range(1, 60)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_degree_and_blocks(self):
+        for v in (2, 5, 20):
+            for d in (1, 7, 30):
+                g = expected_fragments(v, d)
+                assert g <= min(v, d) + 1e-9
+
+    def test_limit_many_blocks_is_degree(self):
+        assert expected_fragments(10**6, 15) == pytest.approx(15.0, rel=1e-4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_fragments(0, 3)
+        with pytest.raises(ValueError):
+            expected_fragments(4, -1)
+
+
+class TestCioFormulas:
+    def test_eq7(self):
+        assert cio_push(10, 20, 5) == 10 + 20 + 10
+
+    def test_eq8(self):
+        assert cio_bpull(10, 20, 3, 4) == 37
+
+    def test_theorem2_inequality_with_formulas(self):
+        # broadcast case: every edge carries a message; sizes from the
+        # proof (S_m=12 >= S_e=8 >= S_f=8 = S_v=8).
+        num_edges, fragments = 1000, 100
+        buffer_msgs = 300  # <= |E|/2 - f = 400
+        assert theorem2_premise(buffer_msgs, num_edges, fragments)
+        mdisk = (num_edges - buffer_msgs) * 12
+        push = cio_push(0, num_edges * 8, mdisk)
+        bpull = cio_bpull(0, 2 * num_edges * 8, fragments * 8,
+                          fragments * 8)
+        assert push >= bpull
+
+    def test_premise_boundary(self):
+        assert theorem2_premise(400, 1000, 100)
+        assert not theorem2_premise(401, 1000, 100)

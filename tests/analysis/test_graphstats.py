@@ -1,0 +1,87 @@
+"""Graph statistics utility."""
+
+import pytest
+
+from repro.analysis.graphstats import compute_stats
+from repro.core.graph import Graph
+from repro.datasets.generators import ring_graph, social_graph, web_graph
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], name="chain")
+        stats = compute_stats(g, num_blocks=2)
+        assert stats.num_vertices == 4
+        assert stats.num_edges == 3
+        assert stats.avg_degree == pytest.approx(0.75)
+        assert stats.max_out_degree == 1
+
+    def test_ring_locality_is_total(self):
+        stats = compute_stats(ring_graph(200))
+        assert stats.locality_index == 1.0
+
+    def test_web_more_local_than_scattered_social(self):
+        web = compute_stats(web_graph(800, 8, seed=5))
+        scattered = compute_stats(
+            social_graph(800, 8, seed=5, locality=0.0, tail_fraction=0.0)
+        )
+        assert web.locality_index > scattered.locality_index
+
+    def test_skew_ratio(self):
+        mild = compute_stats(
+            social_graph(500, 8, seed=6, skew=3.0, tail_fraction=0.0)
+        )
+        harsh = compute_stats(
+            social_graph(500, 8, seed=6, skew=1.6, tail_fraction=0.0)
+        )
+        assert harsh.skew_ratio > mild.skew_ratio
+
+    def test_expected_fragments_grow_with_blocks(self):
+        g = social_graph(400, 8, seed=7)
+        few = compute_stats(g, num_blocks=4)
+        many = compute_stats(g, num_blocks=400)
+        assert many.expected_fragments > few.expected_fragments
+        assert many.b_lower_bound < few.b_lower_bound
+
+    def test_percentiles_ordered(self):
+        g = social_graph(400, 8, seed=7)
+        stats = compute_stats(g)
+        assert (stats.out_degree_p50 <= stats.out_degree_p99
+                <= stats.max_out_degree)
+
+    def test_summary_renders(self):
+        g = ring_graph(10)
+        text = compute_stats(g).summary()
+        assert "|V|=10" in text
+        assert "B_perp" in text
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stats(ring_graph(5), num_blocks=0)
+
+    def test_empty_graph(self):
+        stats = compute_stats(Graph(3), num_blocks=2)
+        assert stats.num_edges == 0
+        assert stats.locality_index == 0.0
+        assert stats.avg_degree == 0.0
+
+
+class TestMetricsExport:
+    def test_json_round_trip(self):
+        import json
+
+        from repro import JobConfig, SSSP, run_job
+        from repro.datasets.generators import random_graph
+
+        g = random_graph(60, 4, seed=8)
+        result = run_job(g, SSSP(source=0),
+                         JobConfig(mode="hybrid", num_workers=2,
+                                   message_buffer_per_worker=10))
+        payload = json.loads(result.metrics.to_json())
+        assert payload["mode"] == "hybrid"
+        assert len(payload["supersteps"]) == (
+            result.metrics.num_supersteps
+        )
+        assert payload["supersteps"][0]["superstep"] == 1
+        total_io = sum(s["io_bytes"] for s in payload["supersteps"])
+        assert total_io == result.metrics.compute_io_bytes

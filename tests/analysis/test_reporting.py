@@ -1,0 +1,51 @@
+"""Formatting helpers used by the benchmark harness."""
+
+from repro.analysis.reporting import fmt_bytes, fmt_seconds, format_table
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert fmt_bytes(2048) == "2.0KB"
+
+    def test_megabytes(self):
+        assert fmt_bytes(3 * 1024 * 1024) == "3.0MB"
+
+    def test_terabytes_cap(self):
+        assert fmt_bytes(5 * 1024 ** 4).endswith("TB")
+
+
+class TestFmtSeconds:
+    def test_milliseconds(self):
+        assert fmt_seconds(0.0123) == "12.30ms"
+
+    def test_seconds(self):
+        assert fmt_seconds(2.5) == "2.50s"
+
+    def test_large(self):
+        assert fmt_seconds(1234.5) == "1,234s"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # all rows same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+    def test_cells_stringified(self):
+        table = format_table(["x"], [[3.14159]])
+        assert "3.14159" in table

@@ -1,0 +1,67 @@
+"""Fault injection and recompute-from-scratch recovery (Appendix A)."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.cluster.fault import FaultInjector, WorkerFailure
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+
+
+class TestFaultInjector:
+    def test_fires_at_planned_superstep(self):
+        injector = FaultInjector(FaultPlan(worker=1, superstep=3))
+        injector.check(1)
+        injector.check(2)
+        with pytest.raises(WorkerFailure) as err:
+            injector.check(3)
+        assert err.value.worker == 1
+        assert err.value.superstep == 3
+
+    def test_fires_only_once(self):
+        injector = FaultInjector(FaultPlan(worker=0, superstep=2))
+        with pytest.raises(WorkerFailure):
+            injector.check(2)
+        injector.check(2)  # quiet after the restart
+
+    def test_no_plan_never_fires(self):
+        injector = FaultInjector(None)
+        for t in range(1, 10):
+            injector.check(t)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("mode", ["push", "bpull", "hybrid"])
+    def test_restart_reproduces_failure_free_result(self, mode):
+        g = random_graph(80, 5, seed=13)
+        base_cfg = JobConfig(mode=mode, num_workers=3,
+                             message_buffer_per_worker=20)
+        clean = run_job(g, PageRank(supersteps=6), base_cfg)
+        faulty = run_job(
+            g, PageRank(supersteps=6),
+            base_cfg.but(fault=FaultPlan(worker=1, superstep=4)),
+        )
+        assert faulty.values == clean.values
+        assert faulty.metrics.restarts == 1
+        assert clean.metrics.restarts == 0
+
+    def test_restart_with_sssp(self):
+        g = random_graph(80, 5, seed=13)
+        cfg = JobConfig(mode="push", num_workers=3,
+                        message_buffer_per_worker=20)
+        clean = run_job(g, SSSP(source=0), cfg)
+        faulty = run_job(g, SSSP(source=0),
+                         cfg.but(fault=FaultPlan(worker=0, superstep=2)))
+        assert faulty.values == clean.values
+        assert faulty.metrics.restarts == 1
+
+    def test_failure_before_first_superstep_of_hybrid_replans(self):
+        g = random_graph(80, 5, seed=13)
+        cfg = JobConfig(mode="hybrid", num_workers=2,
+                        message_buffer_per_worker=5,
+                        fault=FaultPlan(worker=0, superstep=1))
+        result = run_job(g, PageRank(supersteps=4), cfg)
+        assert result.metrics.restarts == 1
+        assert result.metrics.num_supersteps == 4

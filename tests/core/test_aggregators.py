@@ -1,0 +1,125 @@
+"""Pregel-style aggregators and convergence-based termination."""
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+
+
+class CountingProgram(VertexProgram):
+    """Broadcasts a constant; aggregates the number of updates."""
+
+    name = "counting"
+    combinable = True
+    all_active = True
+    default_max_supersteps = 4
+
+    def initial_value(self, vid, ctx):
+        return 0.0
+
+    def update(self, vid, value, messages, ctx) -> UpdateResult:
+        return UpdateResult(value=value + 1.0, respond=True)
+
+    def message_value(self, vid, value, dst, weight, ctx):
+        return 1.0
+
+    def combine(self, a, b):
+        return a + b
+
+    def aggregate(self, vid, old_value, new_value,
+                  ctx) -> Optional[Dict[str, float]]:
+        return {"updates": 1.0, "delta": new_value - old_value}
+
+
+def cfg(mode="push", **kwargs):
+    kwargs.setdefault("num_workers", 3)
+    kwargs.setdefault("message_buffer_per_worker", 20)
+    return JobConfig(mode=mode, **kwargs)
+
+
+class TestAggregators:
+    def test_totals_recorded_per_superstep(self):
+        g = random_graph(50, 4, seed=101)
+        result = run_job(g, CountingProgram(), cfg())
+        for step in result.metrics.supersteps:
+            assert step.aggregates["updates"] == 50.0
+            assert step.aggregates["delta"] == pytest.approx(50.0)
+
+    @pytest.mark.parametrize("mode", ["push", "bpull", "hybrid", "pull"])
+    def test_totals_identical_across_modes(self, mode):
+        g = random_graph(50, 4, seed=101)
+        reference = run_job(g, CountingProgram(), cfg("push"))
+        other = run_job(g, CountingProgram(), cfg(mode))
+        for a, b in zip(reference.metrics.supersteps,
+                        other.metrics.supersteps):
+            assert a.aggregates == pytest.approx(b.aggregates)
+
+    def test_previous_totals_visible_next_superstep(self):
+        seen = {}
+
+        class Peek(CountingProgram):
+            def update(self, vid, value, messages, ctx):
+                if vid == 0:
+                    seen[ctx.superstep] = dict(ctx.aggregates)
+                return super().update(vid, value, messages, ctx)
+
+        g = random_graph(50, 4, seed=101)
+        run_job(g, Peek(), cfg())
+        assert seen[1] == {}
+        assert seen[2]["updates"] == 50.0
+
+    def test_default_program_contributes_nothing(self):
+        g = random_graph(50, 4, seed=101)
+        result = run_job(g, PageRank(supersteps=3), cfg())
+        assert all(
+            s.aggregates == {} for s in result.metrics.supersteps
+        )
+
+
+class TestToleranceTermination:
+    def test_pagerank_converges_before_budget(self):
+        g = random_graph(100, 5, seed=102)
+        result = run_job(g, PageRank(tolerance=1e-4), cfg())
+        assert result.metrics.num_supersteps < 200
+        last = result.metrics.supersteps[-1]
+        assert last.aggregates["delta"] < 1e-4 * 10  # near convergence
+
+    def test_tighter_tolerance_more_supersteps(self):
+        g = random_graph(100, 5, seed=102)
+        loose = run_job(g, PageRank(tolerance=1e-2), cfg())
+        tight = run_job(g, PageRank(tolerance=1e-8), cfg())
+        assert (tight.metrics.num_supersteps
+                > loose.metrics.num_supersteps)
+
+    @pytest.mark.parametrize("mode", ["push", "pushm", "bpull", "hybrid"])
+    def test_converged_result_identical_across_modes(self, mode):
+        g = random_graph(100, 5, seed=102)
+        reference = run_job(g, PageRank(tolerance=1e-6), cfg("push"))
+        other = run_job(g, PageRank(tolerance=1e-6), cfg(mode))
+        assert other.values == pytest.approx(reference.values)
+        assert (other.metrics.num_supersteps
+                == reference.metrics.num_supersteps)
+
+    def test_converged_ranks_are_stationary(self):
+        g = random_graph(100, 5, seed=102)
+        result = run_job(g, PageRank(tolerance=1e-10), cfg())
+        ranks = result.values
+        # one more power-iteration step changes almost nothing
+        incoming = [0.0] * g.num_vertices
+        for src in range(g.num_vertices):
+            deg = g.out_degree(src)
+            if deg:
+                for dst, _w in g.out_edges(src):
+                    incoming[dst] += ranks[src] / deg
+        for vid in range(g.num_vertices):
+            expected = 0.15 / g.num_vertices + 0.85 * incoming[vid]
+            assert ranks[vid] == pytest.approx(expected, abs=1e-8)
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0.0)

@@ -1,0 +1,73 @@
+"""Asynchronous iteration (extension; the paper runs synchronously)."""
+
+import pytest
+
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph, ring_graph
+
+
+def cfg(asynchronous, **kwargs):
+    kwargs.setdefault("num_workers", 3)
+    kwargs.setdefault("message_buffer_per_worker", 20)
+    return JobConfig(mode="push", asynchronous=asynchronous, **kwargs)
+
+
+class TestAsyncValidation:
+    def test_requires_push_family(self):
+        with pytest.raises(ValueError, match="push"):
+            JobConfig(mode="bpull", asynchronous=True)
+        JobConfig(mode="pushm", asynchronous=True)  # accepted
+
+    def test_rejects_non_monotonic_programs(self):
+        g = random_graph(30, 3, seed=1)
+        with pytest.raises(ValueError, match="async_safe"):
+            run_job(g, PageRank(supersteps=3), cfg(True))
+        with pytest.raises(ValueError, match="async_safe"):
+            run_job(g, LPA(supersteps=3), cfg(True))
+
+
+class TestAsyncConvergence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sssp_same_fixed_point(self, seed):
+        g = random_graph(100, 5, seed=seed)
+        sync = run_job(g, SSSP(source=0), cfg(False))
+        async_run = run_job(g, SSSP(source=0), cfg(True))
+        assert async_run.values == pytest.approx(sync.values)
+
+    def test_wcc_same_fixed_point(self):
+        g = random_graph(100, 2, seed=4)
+        sync = run_job(g, WCC(), cfg(False))
+        async_run = run_job(g, WCC(), cfg(True))
+        assert async_run.values == sync.values
+
+    def test_async_converges_in_fewer_supersteps_on_a_chain(self):
+        # a forward chain entirely inside worker order: async propagates
+        # the whole chain within each worker's pass.
+        g = Graph(30, [(i, i + 1) for i in range(29)])
+        sync = run_job(g, SSSP(source=0), cfg(False))
+        async_run = run_job(g, SSSP(source=0), cfg(True))
+        assert async_run.values == sync.values
+        assert (async_run.metrics.num_supersteps
+                < sync.metrics.num_supersteps)
+
+    def test_async_never_needs_more_supersteps_on_ring(self):
+        g = ring_graph(24)
+        sync = run_job(g, SSSP(source=0), cfg(False))
+        async_run = run_job(g, SSSP(source=0), cfg(True))
+        assert async_run.values == sync.values
+        assert (async_run.metrics.num_supersteps
+                <= sync.metrics.num_supersteps)
+
+    def test_async_moves_fewer_messages(self):
+        # same-superstep consumption prunes stale improvements.
+        g = random_graph(200, 6, seed=5)
+        sync = run_job(g, SSSP(source=0), cfg(False))
+        async_run = run_job(g, SSSP(source=0), cfg(True))
+        assert (async_run.metrics.total_messages
+                <= sync.metrics.total_messages)

@@ -1,0 +1,103 @@
+"""CLI smoke and argument-handling tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.graph import Graph
+from repro.datasets.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_a_graph_source(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_and_edge_list_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--dataset", "wiki", "--edge-list", "x.txt"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--dataset", "wiki"])
+        assert args.algorithm == "pagerank"
+        assert args.mode == "hybrid"
+        assert args.cluster == "local"
+
+
+class TestMain:
+    def test_runs_on_edge_list(self, tmp_path, capsys):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        rc = main(["--edge-list", str(path), "--algorithm", "sssp",
+                   "--mode", "push", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sssp" in out
+        assert "supersteps" in out
+
+    def test_trace_output(self, tmp_path, capsys):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "chain.txt"
+        write_edge_list(g, path)
+        rc = main(["--edge-list", str(path), "--algorithm", "wcc",
+                   "--mode", "bpull", "--workers", "2", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "updated" in out  # trace table header
+
+    def test_in_memory_flag(self, tmp_path, capsys):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "chain.txt"
+        write_edge_list(g, path)
+        rc = main(["--edge-list", str(path), "--mode", "push",
+                   "--in-memory", "--supersteps", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "disk I/O   : 0B" in out
+
+    def test_hybrid_reports_switches(self, tmp_path, capsys):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "chain.txt"
+        write_edge_list(g, path)
+        rc = main(["--edge-list", str(path), "--algorithm", "sssp",
+                   "--mode", "hybrid", "--workers", "2", "--buffer", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mode trace" in out
+
+    def test_amazon_cluster(self, tmp_path, capsys):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "chain.txt"
+        write_edge_list(g, path)
+        rc = main(["--edge-list", str(path), "--cluster", "amazon",
+                   "--supersteps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "amazon" in out
+
+
+class TestMainWithDataset:
+    def test_dataset_run(self, capsys):
+        rc = main(["--dataset", "livej", "--algorithm", "pagerank",
+                   "--mode", "bpull", "--supersteps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "livej" in out
+        assert "supersteps : 2" in out
+
+    def test_dataset_in_memory(self, capsys):
+        rc = main(["--dataset", "livej", "--algorithm", "wcc",
+                   "--mode", "push", "--in-memory",
+                   "--supersteps", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "disk I/O   : 0B" in out
+
+    def test_stats_flag(self, capsys):
+        rc = main(["--dataset", "livej", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "B_perp" in out
+        assert "supersteps" not in out  # no job ran

@@ -1,0 +1,212 @@
+"""Engine mechanics: superstep dataflow, spill accounting, termination."""
+
+import math
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+from repro.datasets.generators import random_graph, ring_graph
+
+
+def chain(n=6):
+    """0 -> 1 -> ... -> n-1, unit weights."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name="chain")
+
+
+class TestSuperstepDataflow:
+    def test_sssp_frontier_advances_one_hop_per_superstep(self):
+        g = chain(5)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=2, graph_on_disk=False))
+        assert result.values == [0.0, 1.0, 2.0, 3.0, 4.0]
+        # 1 init + 4 propagation + 1 empty detection superstep at most
+        assert 5 <= result.metrics.num_supersteps <= 6
+
+    def test_messages_consumed_next_superstep_in_push(self):
+        g = chain(3)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=1, graph_on_disk=False))
+        steps = result.metrics.supersteps
+        # superstep 1 updates only the source and emits one message
+        assert steps[0].updated_vertices == 1
+        assert steps[0].raw_messages == 1
+        # superstep 2 consumes it and updates vertex 1
+        assert steps[1].updated_vertices == 1
+
+    def test_bpull_messages_never_touch_disk(self):
+        g = random_graph(50, 4, seed=1)
+        result = run_job(g, PageRank(supersteps=4), JobConfig(
+            mode="bpull", num_workers=2, message_buffer_per_worker=5))
+        for step in result.metrics.supersteps:
+            assert step.spilled_messages == 0
+            assert step.io_message_spill == 0
+            assert step.io.random_write == 0
+
+    def test_push_spills_when_buffer_exceeded(self):
+        g = random_graph(50, 4, seed=1)
+        result = run_job(g, PageRank(supersteps=4), JobConfig(
+            mode="push", num_workers=2, message_buffer_per_worker=5))
+        spilled = sum(s.spilled_messages for s in result.metrics.supersteps)
+        assert spilled > 0
+
+    def test_push_spill_count_exact(self):
+        # star: 10 spokes -> center. Worker 0 holds the center.
+        g = Graph(11, [(i, 0) for i in range(1, 11)])
+        result = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="push", num_workers=1, message_buffer_per_worker=4))
+        # each full superstep produces 10 messages for vertex 0; 4 fit
+        full_steps = [s for s in result.metrics.supersteps[:-1]]
+        for step in full_steps:
+            assert step.spilled_messages == 6
+
+    def test_push_without_spill_when_unlimited(self):
+        g = random_graph(50, 4, seed=1)
+        result = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="push", num_workers=2, message_buffer_per_worker=None))
+        assert all(
+            s.spilled_messages == 0 for s in result.metrics.supersteps
+        )
+
+    def test_memory_sufficient_no_disk_at_all(self):
+        g = random_graph(50, 4, seed=1)
+        for mode in ("push", "pushm", "pull", "bpull", "hybrid"):
+            result = run_job(g, PageRank(supersteps=3), JobConfig(
+                mode=mode, num_workers=2, message_buffer_per_worker=None,
+                graph_on_disk=False))
+            assert result.metrics.compute_io_bytes == 0, mode
+            assert result.metrics.load.io.total == 0, mode
+
+    def test_message_conservation_push(self):
+        g = random_graph(60, 5, seed=3)
+        result = run_job(g, PageRank(supersteps=4), JobConfig(
+            mode="push", num_workers=3, message_buffer_per_worker=20))
+        # every produced message is shipped (plain push: units == raw)
+        for step in result.metrics.supersteps:
+            assert step.net_transfer_units == step.raw_messages
+
+    def test_bpull_transfers_fewer_units_when_combinable(self):
+        g = random_graph(60, 5, seed=3)
+        result = run_job(g, PageRank(supersteps=4), JobConfig(
+            mode="bpull", num_workers=3, message_buffer_per_worker=20))
+        steps = [s for s in result.metrics.supersteps if s.raw_messages]
+        assert steps, "expected message-bearing supersteps"
+        for step in steps:
+            assert step.net_transfer_units < step.raw_messages
+            assert step.mco >= 0
+
+    def test_pull_requests_only_in_pull_modes(self):
+        g = random_graph(40, 4, seed=2)
+        push = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="push", num_workers=2, message_buffer_per_worker=10))
+        bpull = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="bpull", num_workers=2, message_buffer_per_worker=10))
+        assert all(s.pull_requests == 0 for s in push.metrics.supersteps)
+        assert any(s.pull_requests > 0 for s in bpull.metrics.supersteps)
+
+    def test_bpull_request_count_is_blocks_times_workers(self):
+        g = random_graph(40, 4, seed=2)
+        result = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="bpull", num_workers=2, vblocks_per_worker=3,
+            message_buffer_per_worker=10))
+        # supersteps after the first send V * T requests
+        step = result.metrics.supersteps[1]
+        assert step.pull_requests == 6 * 2
+
+
+class TestTermination:
+    def test_pagerank_runs_exactly_max_supersteps(self):
+        g = random_graph(30, 3, seed=4)
+        for mode in ("push", "bpull", "hybrid"):
+            result = run_job(g, PageRank(supersteps=7), JobConfig(
+                mode=mode, num_workers=2, message_buffer_per_worker=10))
+            assert result.metrics.num_supersteps == 7, mode
+
+    def test_sssp_converges_and_stops(self):
+        g = ring_graph(10)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=2, graph_on_disk=False))
+        assert result.values == [float(i) for i in range(10)]
+        # ring: 10 supersteps of propagation, then quiesce
+        assert result.metrics.num_supersteps <= 11
+
+    def test_unreachable_vertices_stay_infinite(self):
+        g = Graph(4, [(0, 1)])
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=2, graph_on_disk=False))
+        assert result.values[0] == 0.0
+        assert result.values[1] == 1.0
+        assert math.isinf(result.values[2])
+        assert math.isinf(result.values[3])
+
+    def test_isolated_source(self):
+        g = Graph(3, [(1, 2)])
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=1, graph_on_disk=False))
+        assert result.values[0] == 0.0
+        assert math.isinf(result.values[1])
+        assert result.metrics.num_supersteps <= 2
+
+    def test_max_supersteps_override(self):
+        g = ring_graph(50)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=2, graph_on_disk=False,
+            max_supersteps=5))
+        assert result.metrics.num_supersteps == 5
+
+
+class TestHybridSwitchSupersteps:
+    def test_switch_labels_appear_in_trace(self):
+        g = random_graph(80, 6, seed=6)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="hybrid", num_workers=2, message_buffer_per_worker=3))
+        trace = result.metrics.mode_trace
+        for prev, cur in zip(trace, trace[1:]):
+            prev_base = prev.split("->")[-1]
+            cur_base = cur.split("->")[0] if "->" in cur else cur
+            if "->" in cur:
+                assert cur.split("->")[0] == prev_base
+            else:
+                assert cur_base in ("push", "bpull")
+
+    def test_switch_superstep_results_match_pure_modes(self):
+        g = random_graph(80, 6, seed=6)
+        reference = run_job(g, SSSP(source=0), JobConfig(
+            mode="push", num_workers=2, message_buffer_per_worker=3))
+        hybrid = run_job(g, SSSP(source=0), JobConfig(
+            mode="hybrid", num_workers=2, message_buffer_per_worker=3))
+        assert hybrid.values == reference.values
+
+    def test_q_trace_recorded(self):
+        g = random_graph(80, 6, seed=6)
+        result = run_job(g, PageRank(supersteps=6), JobConfig(
+            mode="hybrid", num_workers=2, message_buffer_per_worker=3))
+        assert len(result.metrics.q_trace) == result.metrics.num_supersteps
+
+
+class TestModeLabels:
+    def test_pushm_label(self):
+        g = random_graph(40, 4, seed=2)
+        result = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="pushm", num_workers=2, message_buffer_per_worker=10))
+        assert set(result.metrics.mode_trace) == {"pushm"}
+
+    def test_elapsed_is_max_worker_time(self):
+        g = random_graph(40, 4, seed=2)
+        result = run_job(g, PageRank(supersteps=3), JobConfig(
+            mode="push", num_workers=3, message_buffer_per_worker=10))
+        for step in result.metrics.supersteps:
+            assert step.elapsed_seconds == pytest.approx(
+                max(step.worker_seconds.values())
+            )
+
+    def test_traffic_timeline_monotonic(self):
+        g = random_graph(40, 4, seed=2)
+        result = run_job(g, PageRank(supersteps=4), JobConfig(
+            mode="push", num_workers=2, message_buffer_per_worker=10))
+        times = [t for t, _b in result.metrics.traffic_timeline]
+        assert times == sorted(times)
+        assert len(times) == result.metrics.num_supersteps

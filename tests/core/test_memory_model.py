@@ -1,0 +1,76 @@
+"""Memory-accounting behaviours the paper's Section 4.3 relies on."""
+
+import pytest
+
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.runtime import Runtime, choose_vblocks_per_worker
+from repro.core.graph import range_partition
+from repro.datasets.generators import random_graph
+
+
+class TestBufferSizing:
+    def test_combinable_uses_eq5_concat_only_eq6(self):
+        g = random_graph(120, 6, seed=91)
+        p = range_partition(g.num_vertices, 3)
+        eq5 = choose_vblocks_per_worker(g, p, 0, 40, True)
+        eq6 = choose_vblocks_per_worker(g, p, 0, 40, False)
+        # Eq. 6 sizes by total in-degree, which exceeds (2 + T) * n_i
+        # when the average degree tops 2 + T.
+        assert eq5 >= 1 and eq6 >= 1
+
+    def test_runtime_uses_eq6_for_lpa(self):
+        g = random_graph(120, 6, seed=91)
+        rt5 = Runtime(g, PageRank(), JobConfig(
+            mode="bpull", num_workers=3, message_buffer_per_worker=40))
+        rt6 = Runtime(g, LPA(), JobConfig(
+            mode="bpull", num_workers=3, message_buffer_per_worker=40))
+        rt5.setup()
+        rt6.setup()
+        # the two formulas give different block layouts in general
+        assert rt5.layout.num_blocks != rt6.layout.num_blocks
+
+
+class TestPrepullMemory:
+    def test_prepull_doubles_receive_buffer_accounting(self):
+        g = random_graph(120, 6, seed=92)
+        base = dict(mode="bpull", num_workers=3,
+                    message_buffer_per_worker=20, vblocks_per_worker=4)
+        with_prepull = run_job(g, PageRank(supersteps=4),
+                               JobConfig(prepull=True, **base))
+        without = run_job(g, PageRank(supersteps=4),
+                          JobConfig(prepull=False, **base))
+        assert (with_prepull.metrics.peak_memory_bytes
+                > without.metrics.peak_memory_bytes)
+        # accounting only: results identical
+        assert with_prepull.values == pytest.approx(without.values)
+
+
+class TestMemoryVsGranularity:
+    def test_more_blocks_less_buffer_memory(self):
+        g = random_graph(200, 8, seed=93)
+        peaks = []
+        for vblocks in (1, 4, 16):
+            result = run_job(
+                g, PageRank(supersteps=3),
+                JobConfig(mode="bpull", num_workers=2,
+                          vblocks_per_worker=vblocks,
+                          message_buffer_per_worker=20),
+            )
+            peaks.append(result.metrics.peak_memory_bytes)
+        assert peaks[0] > peaks[1] > peaks[2]
+
+    def test_push_memory_bounded_by_buffer(self):
+        g = random_graph(200, 8, seed=93)
+        sizes_msg = 12
+        buffer = 25
+        result = run_job(
+            g, PageRank(supersteps=3),
+            JobConfig(mode="push", num_workers=2,
+                      message_buffer_per_worker=buffer),
+        )
+        for step in result.metrics.supersteps:
+            # each of the 2 workers holds at most B_i in-memory messages
+            assert step.memory_bytes <= 2 * buffer * sizes_msg

@@ -1,0 +1,72 @@
+"""Unit tests for superstep/job metrics aggregation."""
+
+import pytest
+
+from repro.core.metrics import JobMetrics, LoadMetrics, SuperstepMetrics
+from repro.storage.disk import IOCounters
+
+
+def step(superstep, mode="push", **kwargs):
+    s = SuperstepMetrics(superstep=superstep, mode=mode)
+    for key, value in kwargs.items():
+        setattr(s, key, value)
+    return s
+
+
+class TestSuperstepMetrics:
+    def test_spill_fraction(self):
+        s = step(1, raw_messages=100, spilled_messages=25)
+        assert s.spill_fraction == pytest.approx(0.25)
+
+    def test_spill_fraction_no_messages(self):
+        assert step(1).spill_fraction == 0.0
+
+
+class TestJobMetrics:
+    def make(self):
+        jm = JobMetrics(mode="push", graph_name="g", program_name="p",
+                        num_workers=2)
+        jm.load = LoadMetrics(structures="adj", elapsed_seconds=1.0)
+        jm.load.io.seq_write = 100
+        jm.supersteps = [
+            step(1, elapsed_seconds=2.0, net_bytes=10, raw_messages=5,
+                 memory_bytes=50),
+            step(2, elapsed_seconds=3.0, net_bytes=20, raw_messages=7,
+                 memory_bytes=40),
+        ]
+        jm.supersteps[0].io = IOCounters(seq_read=30)
+        jm.supersteps[1].io = IOCounters(random_write=70)
+        return jm
+
+    def test_runtime_includes_loading(self):
+        jm = self.make()
+        assert jm.compute_seconds == pytest.approx(5.0)
+        assert jm.runtime_seconds == pytest.approx(6.0)
+
+    def test_total_io_includes_loading(self):
+        jm = self.make()
+        assert jm.total_io.total == 200
+
+    def test_compute_io_excludes_loading(self):
+        jm = self.make()
+        assert jm.compute_io_bytes == 100
+
+    def test_totals(self):
+        jm = self.make()
+        assert jm.total_net_bytes == 30
+        assert jm.total_messages == 12
+        assert jm.peak_memory_bytes == 50
+        assert jm.num_supersteps == 2
+
+    def test_mean_superstep_seconds(self):
+        jm = self.make()
+        assert jm.mean_superstep_seconds() == pytest.approx(2.5)
+        empty = JobMetrics(mode="push", graph_name="g", program_name="p",
+                           num_workers=1)
+        assert empty.mean_superstep_seconds() == 0.0
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        for key in ("mode", "graph", "program", "supersteps", "runtime_s",
+                    "io_bytes", "net_bytes", "messages", "peak_memory"):
+            assert key in summary

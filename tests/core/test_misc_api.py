@@ -1,0 +1,101 @@
+"""Odds and ends of the public API surface."""
+
+import pytest
+
+from repro import (
+    Graph,
+    JobConfig,
+    PageRank,
+    SSSP,
+    run_job,
+)
+from repro.core.graph import range_partition
+from repro.storage.disk import SimulatedDisk
+from repro.storage.records import DEFAULT_SIZES
+from repro.storage.veblock import BlockLayout, VEBlockStore
+
+
+class TestJobResult:
+    def test_value_of(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        result = run_job(g, SSSP(source=0),
+                         JobConfig(mode="push", num_workers=1,
+                                   graph_on_disk=False))
+        assert result.value_of(2) == 2.0
+        assert result.runtime is not None
+
+    def test_metrics_mode_matches_config(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        for mode in ("push", "bpull", "hybrid"):
+            result = run_job(g, SSSP(source=0),
+                             JobConfig(mode=mode, num_workers=1,
+                                       message_buffer_per_worker=5))
+            assert result.metrics.mode == mode
+
+
+class TestBlockLayoutValidation:
+    def test_wrong_counts_length_rejected(self):
+        partition = range_partition(10, 2)
+        with pytest.raises(ValueError):
+            BlockLayout.build(partition, [1])
+
+
+class TestDisabledDiskVEBlock:
+    def test_scans_free_when_memory_resident(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        partition = range_partition(4, 1)
+        layout = BlockLayout.build(partition, [2])
+        disk = SimulatedDisk(enabled=False)
+        store = VEBlockStore(g, partition, 0, layout, disk,
+                             DEFAULT_SIZES)
+        store.begin_superstep_stats()
+        store.refresh_res([True] * 4)
+        for dst_block in range(layout.num_blocks):
+            for _ in store.scan_for_request(dst_block, [True] * 4):
+                pass
+        assert disk.counters.total == 0
+        # the scan stats still describe the logical volume
+        assert store.scan_stats[0] == g.num_edges
+
+
+class TestNetworkConservation:
+    def test_bytes_out_equals_bytes_in(self):
+        from repro.cluster.network import SimulatedNetwork
+        from repro.storage.disk import HDD_PROFILE
+
+        net = SimulatedNetwork(4, HDD_PROFILE, 1000, 8)
+        net.begin_superstep(1)
+        net.transfer(0, 1, 100, units=1)
+        net.transfer(1, 2, 250, units=2)
+        net.transfer(3, 0, 50, units=1)
+        net.send_request(2, 3)
+        stats = net.end_superstep()
+        assert sum(stats.bytes_out.values()) == sum(
+            stats.bytes_in.values()
+        )
+
+    def test_engine_net_conservation(self):
+        from repro.datasets.generators import random_graph
+
+        g = random_graph(100, 5, seed=121)
+        result = run_job(g, PageRank(supersteps=4),
+                         JobConfig(mode="bpull", num_workers=4,
+                                   message_buffer_per_worker=20))
+        assert result.metrics.total_net_bytes > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self):
+        from repro.datasets.generators import random_graph
+
+        g = random_graph(100, 5, seed=122)
+        cfg = JobConfig(mode="hybrid", num_workers=3,
+                        message_buffer_per_worker=10)
+        a = run_job(g, SSSP(source=0), cfg)
+        b = run_job(g, SSSP(source=0), cfg)
+        assert a.values == b.values
+        assert a.metrics.mode_trace == b.metrics.mode_trace
+        assert a.metrics.compute_seconds == b.metrics.compute_seconds
+        assert [s.io.total for s in a.metrics.supersteps] == [
+            s.io.total for s in b.metrics.supersteps
+        ]

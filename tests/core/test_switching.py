@@ -1,0 +1,150 @@
+"""Unit tests for Q_t (Eq. 11), Theorem 2's bound, and the hybrid switcher."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.runtime import Runtime
+from repro.core.switching import (
+    HybridController,
+    QInputs,
+    b_lower_bound,
+    initial_mode,
+    q_metric,
+)
+from repro.datasets.generators import random_graph
+from repro.storage.disk import HDD_PROFILE
+
+
+class TestQMetric:
+    def test_heavy_spill_favours_bpull(self):
+        inputs = QInputs(mco=0, bytem=12, io_mdisk=10**7, io_edges_push=0,
+                         io_edges_bpull=0, io_fragments=0, io_vrr=0)
+        assert q_metric(inputs, HDD_PROFILE) > 0
+
+    def test_heavy_vrr_favours_push(self):
+        inputs = QInputs(mco=0, bytem=12, io_mdisk=0, io_edges_push=0,
+                         io_edges_bpull=0, io_fragments=0, io_vrr=10**7)
+        assert q_metric(inputs, HDD_PROFILE) < 0
+
+    def test_communication_savings_favour_bpull(self):
+        inputs = QInputs(mco=10**6, bytem=12, io_mdisk=0, io_edges_push=0,
+                         io_edges_bpull=0, io_fragments=0, io_vrr=0)
+        assert q_metric(inputs, HDD_PROFILE) > 0
+
+    def test_zero_everything_is_zero(self):
+        inputs = QInputs(mco=0, bytem=4, io_mdisk=0, io_edges_push=0,
+                         io_edges_bpull=0, io_fragments=0, io_vrr=0)
+        assert q_metric(inputs, HDD_PROFILE) == 0.0
+
+    def test_spill_counted_twice(self):
+        # IO(M_disk) appears in both the random-write and seq-read terms.
+        base = QInputs(mco=0, bytem=4, io_mdisk=0, io_edges_push=0,
+                       io_edges_bpull=0, io_fragments=0, io_vrr=0)
+        spill = QInputs(mco=0, bytem=4, io_mdisk=1024**2, io_edges_push=0,
+                        io_edges_bpull=0, io_fragments=0, io_vrr=0)
+        delta = q_metric(spill, HDD_PROFILE) - q_metric(base, HDD_PROFILE)
+        expected = 1.0 / HDD_PROFILE.random_write_mbps + (
+            1.0 / HDD_PROFILE.seq_read_mbps
+        )
+        assert delta == pytest.approx(expected)
+
+
+class TestTheorem2Bound:
+    def test_b_lower_bound(self):
+        assert b_lower_bound(100, 10) == 40.0
+
+    def test_initial_mode_below_bound_is_bpull(self):
+        assert initial_mode(30, 100, 10) == "bpull"
+
+    def test_initial_mode_above_bound_is_push(self):
+        assert initial_mode(50, 100, 10) == "push"
+
+    def test_initial_mode_unlimited_memory_is_push(self):
+        assert initial_mode(None, 100, 10) == "push"
+
+    def test_negative_bound_forces_push(self):
+        # f > |E|/2: b-pull degenerate, always start in push.
+        assert initial_mode(1, 100, 90) == "push"
+
+
+class TestHybridController:
+    def make_rt(self, buffer=10):
+        # dense graph + one block per worker keeps fragments well below
+        # |E|/2, so Theorem 2's bound B_perp is comfortably positive and
+        # the initial mode depends only on the buffer under test.
+        g = random_graph(80, 8, seed=2)
+        rt = Runtime(g, PageRank(), JobConfig(
+            mode="hybrid", num_workers=2, vblocks_per_worker=1,
+            message_buffer_per_worker=buffer))
+        rt.setup()
+        return rt
+
+    def test_initial_plan_covers_interval(self):
+        rt = self.make_rt()
+        ctrl = HybridController(rt, interval=2)
+        first = ctrl.mode_for(1)
+        assert ctrl.mode_for(2) == first
+
+    def test_small_buffer_starts_bpull(self):
+        rt = self.make_rt(buffer=1)
+        ctrl = HybridController(rt)
+        assert ctrl.mode_for(1) == "bpull"
+
+    def test_huge_buffer_starts_push(self):
+        rt = self.make_rt(buffer=10**9)
+        ctrl = HybridController(rt)
+        assert ctrl.mode_for(1) == "push"
+
+    def test_unplanned_superstep_carries_last_mode(self):
+        rt = self.make_rt()
+        ctrl = HybridController(rt)
+        m1 = ctrl.mode_for(1)
+        m2 = ctrl.mode_for(2)
+        # nothing observed: superstep 3 falls back to the last mode
+        assert ctrl.mode_for(3) == m2 == m1
+
+    def test_observe_plans_two_ahead(self):
+        rt = self.make_rt(buffer=1)
+        ctrl = HybridController(rt, interval=2)
+        ctrl.mode_for(1)
+        from repro.core.metrics import SuperstepMetrics
+
+        step = SuperstepMetrics(superstep=1, mode="bpull")
+        step.raw_messages = 1000
+        step.pull_requests = 4
+        step.mco = 900
+        ctrl.observe(rt, step)
+        assert 3 in ctrl._plan
+
+    def test_switch_disabled_never_replans(self):
+        g = random_graph(80, 4, seed=2)
+        result = run_job(g, SSSP(source=0), JobConfig(
+            mode="hybrid", num_workers=2, message_buffer_per_worker=1,
+            switching_enabled=False))
+        assert set(result.metrics.mode_trace) <= {"bpull", "push"}
+        assert len(set(result.metrics.mode_trace)) == 1
+
+    def test_push_to_bpull_switch_superstep_skips_observation(self):
+        rt = self.make_rt()
+        ctrl = HybridController(rt)
+        from repro.core.metrics import SuperstepMetrics
+
+        step = SuperstepMetrics(superstep=4, mode="push->bpull")
+        ctrl.observe(rt, step)
+        assert ctrl.q_trace[-1] == (4, None)
+        assert 6 not in ctrl._plan
+
+    def test_rco_updates_from_bpull_observation(self):
+        rt = self.make_rt()
+        ctrl = HybridController(rt)
+        from repro.core.metrics import SuperstepMetrics
+
+        step = SuperstepMetrics(superstep=2, mode="bpull")
+        step.raw_messages = 100
+        step.mco = 40
+        step.pull_requests = 4
+        ctrl.observe(rt, step)
+        assert ctrl._rco == pytest.approx(0.4)

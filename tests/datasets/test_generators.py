@@ -1,0 +1,111 @@
+"""Generator determinism and structural properties."""
+
+import pytest
+
+from repro.datasets.generators import (
+    random_graph,
+    ring_graph,
+    social_graph,
+    web_graph,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda: social_graph(200, 8, seed=42),
+        lambda: web_graph(200, 8, seed=42),
+        lambda: random_graph(200, 8, seed=42),
+    ])
+    def test_same_seed_same_graph(self, factory):
+        a, b = factory(), factory()
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seed_different_graph(self):
+        a = social_graph(200, 8, seed=1)
+        b = social_graph(200, 8, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+
+class TestSocialGraph:
+    def test_average_degree_close_to_target(self):
+        g = social_graph(1000, 10, seed=7)
+        assert g.average_degree == pytest.approx(10, rel=0.3)
+
+    def test_degree_skew_increases_max_degree(self):
+        mild = social_graph(800, 10, seed=7, skew=3.0, tail_fraction=0.0)
+        harsh = social_graph(800, 10, seed=7, skew=1.6, tail_fraction=0.0)
+        max_mild = max(mild.out_degree(v) for v in mild.vertices())
+        max_harsh = max(harsh.out_degree(v) for v in harsh.vertices())
+        assert max_harsh > max_mild
+
+    def test_no_self_loops(self):
+        g = social_graph(300, 6, seed=3)
+        assert all(s != d for s, d, _w in g.edges())
+
+    def test_whisker_chains_attached(self):
+        g = social_graph(300, 6, seed=3, tail_fraction=0.3, tail_chain=10)
+        core_n = 300 - 90
+        # every tail vertex has an in-edge (reachable from the core/chain)
+        in_degs = g.in_degrees()
+        assert all(in_degs[v] > 0 for v in range(core_n, 300))
+
+    def test_locality_reduces_long_edges(self):
+        local = social_graph(600, 8, seed=5, locality=0.9,
+                             tail_fraction=0.0)
+        scattered = social_graph(600, 8, seed=5, locality=0.0,
+                                 tail_fraction=0.0)
+
+        def long_edges(g):
+            return sum(
+                1 for s, d, _w in g.edges() if abs(s - d) > 60
+            ) / g.num_edges
+
+        assert long_edges(local) < long_edges(scattered)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            social_graph(1, 5)
+        with pytest.raises(ValueError):
+            social_graph(10, 5, tail_fraction=1.5)
+        with pytest.raises(ValueError):
+            social_graph(10, 5, locality=2.0)
+
+
+class TestWebGraph:
+    def test_average_degree_close_to_target(self):
+        g = web_graph(1000, 12, seed=7)
+        assert g.average_degree == pytest.approx(12, rel=0.3)
+
+    def test_mostly_local_edges(self):
+        g = web_graph(1000, 10, seed=7)
+        window = 1000 // 150
+        local = sum(
+            1 for s, d, _w in g.edges()
+            if min(abs(s - d), 1000 - abs(s - d)) <= window
+        )
+        assert local / g.num_edges > 0.8
+
+    def test_long_jumps_are_expensive(self):
+        g = web_graph(1000, 10, seed=7)
+        window = 1000 // 150
+        for s, d, w in g.edges():
+            ring_dist = min(abs(s - d), 1000 - abs(s - d))
+            if ring_dist > window:
+                assert w > 100.0
+
+    def test_no_self_loops(self):
+        g = web_graph(300, 6, seed=3)
+        assert all(s != d for s, d, _w in g.edges())
+
+
+class TestRingAndRandom:
+    def test_ring_structure(self):
+        g = ring_graph(5)
+        assert g.num_edges == 5
+        assert all(g.out_degree(v) == 1 for v in g.vertices())
+        assert g.out_edges(4) == [(0, 1.0)]
+
+    def test_random_graph_edge_count(self):
+        g = random_graph(100, 5, seed=1)
+        # self-loops are skipped, so slightly fewer than n * degree
+        assert 400 <= g.num_edges <= 500

@@ -1,0 +1,61 @@
+"""The Table 4 stand-in registry."""
+
+import pytest
+
+from repro.core.config import JobConfig
+from repro.datasets.registry import (
+    DATASETS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    dataset_names,
+    get_dataset,
+)
+
+
+class TestRegistry:
+    def test_six_datasets_like_table4(self):
+        assert dataset_names() == ["livej", "wiki", "orkut", "twi", "fri",
+                                   "uk"]
+
+    def test_small_and_large_partition(self):
+        assert set(SMALL_DATASETS) | set(LARGE_DATASETS) == set(DATASETS)
+        assert not set(SMALL_DATASETS) & set(LARGE_DATASETS)
+
+    def test_worker_defaults_follow_paper(self):
+        for name in SMALL_DATASETS:
+            assert DATASETS[name].workers == 5
+        for name in LARGE_DATASETS:
+            assert DATASETS[name].workers == 30
+
+    def test_get_dataset_builds_and_caches(self):
+        a = get_dataset("livej")
+        b = get_dataset("livej")
+        assert a is b
+        assert a.num_vertices == DATASETS["livej"].num_vertices
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("facebook")
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_average_degree_tracks_paper(self, name):
+        spec = DATASETS[name]
+        g = get_dataset(name)
+        assert g.average_degree == pytest.approx(spec.avg_degree, rel=0.35)
+
+    def test_job_config_carries_spec_defaults(self):
+        spec = DATASETS["uk"]
+        cfg = spec.job_config("bpull")
+        assert isinstance(cfg, JobConfig)
+        assert cfg.num_workers == 30
+        assert cfg.message_buffer_per_worker == spec.buffer_per_worker
+        assert cfg.vblocks_per_worker == spec.vblocks_per_worker
+
+    def test_job_config_overrides(self):
+        cfg = DATASETS["wiki"].job_config("push", num_workers=2)
+        assert cfg.num_workers == 2
+        assert cfg.mode == "push"
+
+    def test_twi_is_the_skewed_low_locality_one(self):
+        assert DATASETS["twi"].skew < DATASETS["livej"].skew
+        assert DATASETS["twi"].locality < DATASETS["livej"].locality

@@ -1,0 +1,70 @@
+"""Structural fidelity of the stand-ins the experiments rely on."""
+
+import heapq
+import math
+
+import pytest
+
+from repro.datasets.registry import DATASETS, get_dataset
+
+
+def sssp_tree_depth(graph, source=0):
+    """Hop-depth of the shortest-weighted-path tree = SSSP supersteps."""
+    dist = [math.inf] * graph.num_vertices
+    hops = [0] * graph.num_vertices
+    dist[source] = 0.0
+    heap = [(0.0, 0, source)]
+    while heap:
+        d, h, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist[v] - 1e-12:
+                dist[v] = nd
+                hops[v] = h + 1
+                heapq.heappush(heap, (nd, h + 1, v))
+    reached = [h for h, d in zip(hops, dist) if not math.isinf(d)]
+    coverage = sum(1 for d in dist if not math.isinf(d))
+    return max(reached), coverage
+
+
+class TestConvergenceTails:
+    def test_wiki_has_long_sssp_tail(self):
+        # the paper's SSSP/wiki runs 284 supersteps; the stand-in must
+        # keep a long convergence stage (Fig. 2b, Fig. 8b).
+        g = get_dataset("wiki")
+        depth, coverage = sssp_tree_depth(g)
+        assert depth > 60
+        assert coverage > 0.95 * g.num_vertices
+
+    def test_twi_depth_matches_fig14_scale(self):
+        # Fig. 14 traces SSSP/twi for ~30 supersteps.
+        g = get_dataset("twi")
+        depth, coverage = sssp_tree_depth(g)
+        assert 15 <= depth <= 60
+        assert coverage > 0.9 * g.num_vertices
+
+    def test_twi_more_skewed_than_livej(self):
+        degrees = {}
+        for name in ("livej", "twi"):
+            g = get_dataset(name)
+            mx = max(g.out_degree(v) for v in g.vertices())
+            degrees[name] = mx / g.average_degree
+        assert degrees["twi"] > degrees["livej"]
+
+    def test_fragment_hostility_of_twi(self):
+        """b-pull's twi weakness comes from fragments ~ edges; the
+        friendlier graphs stay well below (Section 6.1)."""
+        from repro.algorithms.pagerank import PageRank
+        from repro.core.runtime import Runtime
+
+        ratios = {}
+        for name in ("wiki", "twi", "uk"):
+            g = get_dataset(name)
+            rt = Runtime(g, PageRank(), DATASETS[name].job_config("bpull"))
+            rt.setup()
+            ratios[name] = rt.total_fragments() / g.num_edges
+        assert ratios["twi"] > 0.8
+        assert ratios["wiki"] < 0.4
+        assert ratios["uk"] < 0.4

@@ -1,0 +1,175 @@
+"""Cross-mode equivalence: all five engines compute identical results.
+
+This is the load-bearing correctness property behind the paper's
+switching design (Section 5.2): push, pushM, pull, b-pull, and hybrid are
+different *message transports* over the same decoupled compute functions,
+so vertex trajectories must match exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sa import SA
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph, social_graph, web_graph
+
+ALL_MODES = ("push", "pushm", "pull", "bpull", "hybrid")
+NONCOMBINABLE_MODES = ("push", "pull", "bpull", "hybrid")
+
+
+def run_all(graph, program_factory, modes, **cfg_kwargs):
+    results = {}
+    for mode in modes:
+        cfg = JobConfig(mode=mode, num_workers=3,
+                        message_buffer_per_worker=25, **cfg_kwargs)
+        results[mode] = run_job(graph, program_factory(), cfg)
+    return results
+
+
+def assert_values_equal(results, approx=False):
+    modes = list(results)
+    base = results[modes[0]].values
+    for mode in modes[1:]:
+        other = results[mode].values
+        if approx:
+            assert other == pytest.approx(base), mode
+        else:
+            assert other == base, mode
+
+
+GRAPHS = {
+    "random": lambda: random_graph(90, 5, seed=31),
+    "social": lambda: social_graph(90, 5, seed=32, tail_chain=8),
+    "web": lambda: web_graph(90, 5, seed=33),
+}
+
+
+@pytest.mark.parametrize("graph_kind", sorted(GRAPHS))
+class TestEquivalence:
+    def test_pagerank_all_modes(self, graph_kind):
+        g = GRAPHS[graph_kind]()
+        results = run_all(g, lambda: PageRank(supersteps=6), ALL_MODES)
+        assert_values_equal(results, approx=True)
+
+    def test_sssp_all_modes(self, graph_kind):
+        g = GRAPHS[graph_kind]()
+        results = run_all(g, lambda: SSSP(source=0), ALL_MODES)
+        assert_values_equal(results)
+
+    def test_wcc_all_modes(self, graph_kind):
+        g = GRAPHS[graph_kind]()
+        results = run_all(g, WCC, ALL_MODES)
+        assert_values_equal(results)
+
+    def test_lpa_noncombinable_modes(self, graph_kind):
+        g = GRAPHS[graph_kind]()
+        results = run_all(g, lambda: LPA(supersteps=5),
+                          NONCOMBINABLE_MODES)
+        assert_values_equal(results)
+
+    def test_sa_noncombinable_modes(self, graph_kind):
+        g = GRAPHS[graph_kind]()
+        results = run_all(g, lambda: SA(num_sources=3),
+                          NONCOMBINABLE_MODES)
+        assert_values_equal(results)
+
+
+class TestEquivalenceAcrossConfigs:
+    def test_buffer_size_does_not_change_results(self):
+        g = random_graph(90, 5, seed=34)
+        baseline = run_job(g, PageRank(supersteps=5),
+                           JobConfig(mode="push", num_workers=3,
+                                     message_buffer_per_worker=None))
+        for buffer in (1, 7, 100):
+            result = run_job(g, PageRank(supersteps=5),
+                             JobConfig(mode="push", num_workers=3,
+                                       message_buffer_per_worker=buffer))
+            assert result.values == pytest.approx(baseline.values)
+
+    def test_worker_count_does_not_change_results(self):
+        g = random_graph(90, 5, seed=35)
+        baseline = run_job(g, SSSP(source=0),
+                           JobConfig(mode="bpull", num_workers=1,
+                                     message_buffer_per_worker=20))
+        for workers in (2, 5, 8):
+            result = run_job(g, SSSP(source=0),
+                             JobConfig(mode="bpull", num_workers=workers,
+                                       message_buffer_per_worker=20))
+            assert result.values == baseline.values
+
+    def test_vblock_count_does_not_change_results(self):
+        g = random_graph(90, 5, seed=36)
+        baseline = None
+        for vblocks in (1, 3, 10):
+            result = run_job(g, SSSP(source=0),
+                             JobConfig(mode="bpull", num_workers=3,
+                                       vblocks_per_worker=vblocks,
+                                       message_buffer_per_worker=20))
+            if baseline is None:
+                baseline = result.values
+            else:
+                assert result.values == baseline
+
+    def test_partitioning_does_not_change_results(self):
+        g = random_graph(90, 5, seed=37)
+        by_range = run_job(g, PageRank(supersteps=4),
+                           JobConfig(mode="bpull", num_workers=3,
+                                     partition="range",
+                                     message_buffer_per_worker=20))
+        by_hash = run_job(g, PageRank(supersteps=4),
+                          JobConfig(mode="bpull", num_workers=3,
+                                    partition="hash",
+                                    message_buffer_per_worker=20))
+        assert by_hash.values == pytest.approx(by_range.values)
+
+    def test_sender_combining_does_not_change_results(self):
+        g = random_graph(90, 5, seed=38)
+        plain = run_job(g, PageRank(supersteps=4),
+                        JobConfig(mode="pushm", num_workers=3,
+                                  message_buffer_per_worker=20))
+        combined = run_job(g, PageRank(supersteps=4),
+                           JobConfig(mode="pushm", num_workers=3,
+                                     message_buffer_per_worker=20,
+                                     sender_combine=True))
+        assert combined.values == pytest.approx(plain.values)
+
+    def test_receiver_combining_does_not_change_results(self):
+        g = random_graph(90, 5, seed=39)
+        plain = run_job(g, SSSP(source=0),
+                        JobConfig(mode="push", num_workers=3,
+                                  message_buffer_per_worker=20))
+        combined = run_job(g, SSSP(source=0),
+                           JobConfig(mode="push", num_workers=3,
+                                     message_buffer_per_worker=20,
+                                     receiver_combine=True))
+        assert combined.values == plain.values
+
+    def test_fragment_clustering_ablation_same_results(self):
+        g = random_graph(90, 5, seed=40)
+        clustered = run_job(g, SSSP(source=0),
+                            JobConfig(mode="bpull", num_workers=3,
+                                      message_buffer_per_worker=20))
+        flat = run_job(g, SSSP(source=0),
+                       JobConfig(mode="bpull", num_workers=3,
+                                 message_buffer_per_worker=20,
+                                 fragment_clustering=False))
+        assert flat.values == clustered.values
+
+    def test_disk_profile_does_not_change_results(self):
+        from repro.core.config import AMAZON_CLUSTER
+
+        g = random_graph(90, 5, seed=41)
+        hdd = run_job(g, SSSP(source=0),
+                      JobConfig(mode="hybrid", num_workers=3,
+                                message_buffer_per_worker=10))
+        ssd = run_job(g, SSSP(source=0),
+                      JobConfig(mode="hybrid", num_workers=3,
+                                message_buffer_per_worker=10,
+                                cluster=AMAZON_CLUSTER))
+        assert ssd.values == hdd.values

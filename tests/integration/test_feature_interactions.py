@@ -1,0 +1,124 @@
+"""Interactions between features: combining x spilling, async x pushm,
+checkpoints x aggregators — places where orthogonal knobs could clash."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+
+
+class TestCombineSpillInterplay:
+    def test_receiver_combine_reduces_spill_but_not_results(self):
+        g = random_graph(150, 6, seed=131)
+        base = JobConfig(mode="push", num_workers=3,
+                         message_buffer_per_worker=10)
+        plain = run_job(g, PageRank(supersteps=4), base)
+        combined = run_job(g, PageRank(supersteps=4),
+                           base.but(receiver_combine=True))
+        assert combined.values == pytest.approx(plain.values)
+        spilled = lambda r: sum(
+            s.spilled_messages for s in r.metrics.supersteps
+        )
+        # combining frees buffer slots, so strictly less hits disk
+        assert spilled(combined) < spilled(plain)
+
+    def test_receiver_combine_ignored_for_noncombinable(self):
+        from repro.algorithms.lpa import LPA
+
+        g = random_graph(100, 5, seed=132)
+        result = run_job(g, LPA(supersteps=3),
+                         JobConfig(mode="push", num_workers=2,
+                                   message_buffer_per_worker=10,
+                                   receiver_combine=True))
+        # LPA needs the full label multiset; combining must be a no-op
+        reference = run_job(g, LPA(supersteps=3),
+                            JobConfig(mode="push", num_workers=2,
+                                      message_buffer_per_worker=10))
+        assert result.values == reference.values
+
+
+class TestAsyncPushm:
+    def test_async_pushm_sssp(self):
+        g = random_graph(150, 6, seed=133)
+        sync = run_job(g, SSSP(source=0),
+                       JobConfig(mode="pushm", num_workers=3,
+                                 message_buffer_per_worker=20))
+        asynchronous = run_job(
+            g, SSSP(source=0),
+            JobConfig(mode="pushm", num_workers=3,
+                      message_buffer_per_worker=20, asynchronous=True),
+        )
+        assert asynchronous.values == sync.values
+
+    def test_async_with_checkpoint_recovery(self):
+        g = random_graph(150, 6, seed=134)
+        clean = run_job(g, WCC(),
+                        JobConfig(mode="push", num_workers=3,
+                                  message_buffer_per_worker=20,
+                                  asynchronous=True))
+        faulty = run_job(
+            g, WCC(),
+            JobConfig(mode="push", num_workers=3,
+                      message_buffer_per_worker=20, asynchronous=True,
+                      checkpoint_interval=2,
+                      fault=FaultPlan(worker=1, superstep=4)),
+        )
+        assert faulty.values == clean.values
+
+
+class TestCheckpointAggregators:
+    def test_aggregates_consistent_across_recovery(self):
+        g = random_graph(120, 5, seed=135)
+        cfg = JobConfig(mode="push", num_workers=3,
+                        message_buffer_per_worker=30)
+        clean = run_job(g, PageRank(tolerance=1e-6), cfg)
+        faulty = run_job(
+            g, PageRank(tolerance=1e-6),
+            cfg.but(checkpoint_interval=3,
+                    fault=FaultPlan(worker=2, superstep=7)),
+        )
+        assert faulty.values == pytest.approx(clean.values)
+        assert (faulty.metrics.num_supersteps
+                == clean.metrics.num_supersteps)
+        # the replayed aggregates must match the clean trajectory
+        for a, b in zip(clean.metrics.supersteps,
+                        faulty.metrics.supersteps):
+            assert a.aggregates == pytest.approx(b.aggregates)
+
+
+class TestCheckpointBpull:
+    def test_bpull_checkpoints_carry_no_messages(self):
+        """b-pull consumes messages on arrival, so its snapshots are just
+        values + flags — strictly smaller than push's."""
+        g = random_graph(150, 6, seed=136)
+        push = run_job(g, PageRank(supersteps=6),
+                       JobConfig(mode="push", num_workers=3,
+                                 message_buffer_per_worker=None,
+                                 checkpoint_interval=2))
+        bpull = run_job(g, PageRank(supersteps=6),
+                        JobConfig(mode="bpull", num_workers=3,
+                                  message_buffer_per_worker=None,
+                                  checkpoint_interval=2))
+        push_bytes = [b for _t, b, _s in push.metrics.checkpoints]
+        bpull_bytes = [b for _t, b, _s in bpull.metrics.checkpoints]
+        assert len(push_bytes) == len(bpull_bytes) == 2
+        assert all(p > b for p, b in zip(push_bytes, bpull_bytes))
+
+    def test_bpull_checkpoint_recovery(self):
+        g = random_graph(150, 6, seed=136)
+        clean = run_job(g, SSSP(source=0),
+                        JobConfig(mode="bpull", num_workers=3,
+                                  message_buffer_per_worker=20))
+        faulty = run_job(
+            g, SSSP(source=0),
+            JobConfig(mode="bpull", num_workers=3,
+                      message_buffer_per_worker=20,
+                      checkpoint_interval=2,
+                      fault=FaultPlan(worker=0, superstep=5)),
+        )
+        assert faulty.values == clean.values
+        assert faulty.metrics.recovered_from == 4

@@ -1,0 +1,64 @@
+"""Fast regression pins on the paper's headline shapes.
+
+The benchmark harness asserts every figure in full; these are the
+cheapest cells re-checked inside the unit suite so an engine change that
+silently breaks the reproduction fails `pytest tests/` too.
+"""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.core.engine import run_job
+from repro.datasets.registry import DATASETS, get_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki_runs():
+    graph = get_dataset("wiki")
+    spec = DATASETS["wiki"]
+    return {
+        mode: run_job(graph, PageRank(supersteps=3),
+                      spec.job_config(mode))
+        for mode in ("push", "pushm", "pull", "bpull", "hybrid")
+    }
+
+
+class TestHeadlineShapes:
+    def test_limited_memory_ordering(self, wiki_runs):
+        runtime = {
+            mode: run.metrics.compute_seconds
+            for mode, run in wiki_runs.items()
+        }
+        # Fig. 8's ordering: pull >> push > pushm > bpull ~= hybrid
+        assert runtime["pull"] > runtime["push"] > runtime["pushm"]
+        assert runtime["pushm"] > runtime["bpull"]
+        assert runtime["hybrid"] == pytest.approx(runtime["bpull"],
+                                                  rel=0.25)
+
+    def test_bpull_factor_over_push_is_large(self, wiki_runs):
+        ratio = (wiki_runs["push"].metrics.compute_seconds
+                 / wiki_runs["bpull"].metrics.compute_seconds)
+        assert ratio > 5.0
+
+    def test_pull_io_dwarfs_everything(self, wiki_runs):
+        io = {
+            mode: run.metrics.compute_io_bytes
+            for mode, run in wiki_runs.items()
+        }
+        assert io["pull"] > 3 * io["push"]
+        assert io["bpull"] < io["push"]
+
+    def test_bpull_never_spills(self, wiki_runs):
+        assert all(
+            s.spilled_messages == 0
+            for s in wiki_runs["bpull"].metrics.supersteps
+        )
+        assert any(
+            s.spilled_messages > 0
+            for s in wiki_runs["push"].metrics.supersteps
+        )
+
+    def test_results_identical_across_transports(self, wiki_runs):
+        reference = wiki_runs["push"].values
+        for mode, run in wiki_runs.items():
+            assert run.values == pytest.approx(reference), mode

@@ -1,0 +1,163 @@
+"""Hybrid behaviour: initial mode, switching, ablations (Section 5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph, social_graph
+
+
+def base_modes(trace):
+    """Strip switch labels: 'bpull->push' counts as the target mode."""
+    return [label.split("->")[-1] for label in trace]
+
+
+class TestInitialMode:
+    def test_tiny_buffer_dense_graph_starts_bpull(self):
+        g = random_graph(100, 10, seed=60)
+        result = run_job(g, PageRank(supersteps=4),
+                         JobConfig(mode="hybrid", num_workers=2,
+                                   vblocks_per_worker=1,
+                                   message_buffer_per_worker=5))
+        assert result.metrics.mode_trace[0] == "bpull"
+
+    def test_unlimited_buffer_starts_push(self):
+        g = random_graph(100, 10, seed=60)
+        result = run_job(g, PageRank(supersteps=4),
+                         JobConfig(mode="hybrid", num_workers=2,
+                                   vblocks_per_worker=1,
+                                   message_buffer_per_worker=None))
+        assert result.metrics.mode_trace[0] == "push"
+
+
+class TestSwitching:
+    def test_sufficient_memory_converges_to_bpull(self):
+        # Section 6.1: with everything in memory, communication dominates
+        # Q_t and hybrid ends up running b-pull.
+        g = random_graph(150, 8, seed=61)
+        result = run_job(g, PageRank(supersteps=10),
+                         JobConfig(mode="hybrid", num_workers=3,
+                                   vblocks_per_worker=1,
+                                   message_buffer_per_worker=None,
+                                   graph_on_disk=False))
+        assert base_modes(result.metrics.mode_trace)[-1] == "bpull"
+
+    def test_limited_memory_broadcast_stays_bpull(self):
+        g = random_graph(150, 8, seed=61)
+        result = run_job(g, PageRank(supersteps=8),
+                         JobConfig(mode="hybrid", num_workers=3,
+                                   vblocks_per_worker=1,
+                                   message_buffer_per_worker=5))
+        counts = Counter(base_modes(result.metrics.mode_trace))
+        assert counts["bpull"] >= counts.get("push", 0)
+
+    def test_traversal_tail_switches_to_push(self):
+        # big whisker tail: long final phase with a tiny frontier, where
+        # push is cheaper (few messages, but b-pull still scans blocks).
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        result = run_job(g, SSSP(source=0),
+                         JobConfig(mode="hybrid", num_workers=3,
+                                   vblocks_per_worker=6,
+                                   message_buffer_per_worker=5))
+        trace = base_modes(result.metrics.mode_trace)
+        assert trace[-1] == "push"
+        assert "bpull" in trace  # it did start profitable
+
+    def test_interval_respected(self):
+        # a mode planned at superstep t applies at t + interval; with the
+        # default interval of 2, two consecutive supersteps never differ
+        # in a way the controller didn't plan (switch labels chain).
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        result = run_job(g, SSSP(source=0),
+                         JobConfig(mode="hybrid", num_workers=3,
+                                   vblocks_per_worker=6,
+                                   message_buffer_per_worker=5))
+        trace = result.metrics.mode_trace
+        for prev, cur in zip(trace, trace[1:]):
+            if "->" in cur:
+                assert cur.split("->")[0] == prev.split("->")[-1]
+
+    def test_q_trace_signs_match_mode_choices(self):
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        cfg = JobConfig(mode="hybrid", num_workers=3, vblocks_per_worker=6,
+                        message_buffer_per_worker=5,
+                        switching_interval=2)
+        result = run_job(g, SSSP(source=0), cfg)
+        trace = base_modes(result.metrics.mode_trace)
+        q_trace = result.metrics.q_trace
+        for idx, q in enumerate(q_trace):
+            target = idx + cfg.switching_interval  # 0-based: superstep t+2
+            if q is None or target >= len(trace):
+                continue
+            expected = "bpull" if q >= 0 else "push"
+            assert trace[target] == expected
+
+
+class TestAblations:
+    def test_switching_gain_on_traversal_workload(self):
+        """hybrid must beat the worse of push/b-pull, and switching must
+        not lose much versus the best fixed mode (the paper's Fig. 8/14
+        story: it should usually *match or beat* it)."""
+        g = social_graph(400, 8, seed=63, tail_fraction=0.5, tail_chain=50)
+        cfg = dict(num_workers=3, vblocks_per_worker=8,
+                   message_buffer_per_worker=5)
+        runtimes = {}
+        for mode in ("push", "bpull", "hybrid"):
+            result = run_job(g, SSSP(source=0),
+                             JobConfig(mode=mode, **cfg))
+            runtimes[mode] = result.metrics.compute_seconds
+        best_fixed = min(runtimes["push"], runtimes["bpull"])
+        worst_fixed = max(runtimes["push"], runtimes["bpull"])
+        assert runtimes["hybrid"] < worst_fixed
+        assert runtimes["hybrid"] <= best_fixed * 1.35
+
+    def test_disabled_switching_is_pure_initial_mode(self):
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        result = run_job(g, SSSP(source=0),
+                         JobConfig(mode="hybrid", num_workers=3,
+                                   vblocks_per_worker=6,
+                                   message_buffer_per_worker=5,
+                                   switching_enabled=False))
+        assert len(set(result.metrics.mode_trace)) == 1
+
+    def test_interval_one_switches_faster_than_interval_four(self):
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        first_switch = {}
+        for interval in (1, 4):
+            result = run_job(g, SSSP(source=0),
+                             JobConfig(mode="hybrid", num_workers=3,
+                                       vblocks_per_worker=6,
+                                       message_buffer_per_worker=5,
+                                       switching_interval=interval))
+            trace = result.metrics.mode_trace
+            switches = [i for i, m in enumerate(trace) if "->" in m]
+            first_switch[interval] = switches[0] if switches else len(trace)
+        assert first_switch[1] <= first_switch[4]
+
+
+class TestDeadband:
+    def test_deadband_suppresses_flip_flops(self):
+        """Near-zero Q_t values in the first supersteps of a traversal
+        can flip the plan back and forth; the (extension) deadband keeps
+        the transport put until the predicted gain is material."""
+        g = social_graph(300, 8, seed=62, tail_fraction=0.5, tail_chain=40)
+        base = dict(num_workers=3, vblocks_per_worker=6,
+                    message_buffer_per_worker=5)
+        pure = run_job(g, SSSP(source=0),
+                       JobConfig(mode="hybrid", **base))
+        damped = run_job(g, SSSP(source=0),
+                         JobConfig(mode="hybrid", switching_deadband=0.05,
+                                   **base))
+        switches = lambda r: sum(
+            1 for m in r.metrics.mode_trace if "->" in m
+        )
+        assert switches(damped) <= switches(pure)
+        # damping must not break correctness
+        assert damped.values == pure.values
+
+    def test_zero_deadband_is_default(self):
+        assert JobConfig().switching_deadband == 0.0

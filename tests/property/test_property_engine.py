@@ -1,0 +1,138 @@
+"""Property-based tests: engine invariants over random graphs/configs."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=40, max_degree=5):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=n * max_degree))
+    edges = []
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if src != dst:
+            weight = draw(
+                st.floats(min_value=0.1, max_value=50.0,
+                          allow_nan=False, allow_infinity=False)
+            )
+            edges.append((src, dst, weight))
+    return Graph(n, edges, name="hypo")
+
+
+def cfg(mode, workers=2, buffer=8, **kwargs):
+    return JobConfig(mode=mode, num_workers=workers,
+                     message_buffer_per_worker=buffer, **kwargs)
+
+
+class TestModeEquivalenceProperties:
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=3))
+    def test_pagerank_modes_agree(self, g, workers):
+        reference = None
+        for mode in ("push", "pushm", "bpull", "hybrid"):
+            result = run_job(g, PageRank(supersteps=4),
+                             cfg(mode, workers=workers))
+            if reference is None:
+                reference = result.values
+            else:
+                assert all(
+                    math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+                    for a, b in zip(reference, result.values)
+                ), mode
+
+    @SLOW
+    @given(graphs(), st.integers(min_value=0, max_value=10))
+    def test_sssp_modes_agree_and_match_dijkstra(self, g, source_seed):
+        source = source_seed % g.num_vertices
+        import heapq
+
+        dist = [math.inf] * g.num_vertices
+        dist[source] = 0.0
+        heap = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in g.out_edges(u):
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        for mode in ("push", "bpull", "hybrid", "pull"):
+            result = run_job(g, SSSP(source=source), cfg(mode))
+            assert all(
+                (math.isinf(a) and math.isinf(b))
+                or math.isclose(a, b, rel_tol=1e-9)
+                for a, b in zip(result.values, dist)
+            ), mode
+
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=20))
+    def test_buffer_size_never_changes_wcc(self, g, buffer):
+        small = run_job(g, WCC(), cfg("push", buffer=buffer))
+        unlimited = run_job(g, WCC(), cfg("push", buffer=None))
+        assert small.values == unlimited.values
+
+
+class TestAccountingProperties:
+    @SLOW
+    @given(graphs())
+    def test_bpull_never_spills_messages(self, g):
+        result = run_job(g, PageRank(supersteps=3), cfg("bpull", buffer=2))
+        for step in result.metrics.supersteps:
+            assert step.spilled_messages == 0
+            assert step.io.random_write == 0
+
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=30))
+    def test_push_units_equal_messages(self, g, buffer):
+        result = run_job(g, PageRank(supersteps=3),
+                         cfg("push", buffer=buffer))
+        for step in result.metrics.supersteps:
+            assert step.net_transfer_units == step.raw_messages
+            assert 0 <= step.spilled_messages <= step.raw_messages
+
+    @SLOW
+    @given(graphs())
+    def test_mco_bounded_by_messages(self, g):
+        result = run_job(g, PageRank(supersteps=3), cfg("bpull"))
+        for step in result.metrics.supersteps:
+            assert 0 <= step.mco <= step.raw_messages
+
+    @SLOW
+    @given(graphs())
+    def test_metrics_are_non_negative_and_elapsed_consistent(self, g):
+        result = run_job(g, SSSP(source=0), cfg("hybrid"))
+        for step in result.metrics.supersteps:
+            assert step.elapsed_seconds >= 0
+            assert step.cpu_seconds >= 0
+            assert step.io.total >= 0
+            assert step.net_bytes >= 0
+            if step.worker_seconds:
+                assert step.elapsed_seconds == max(
+                    step.worker_seconds.values()
+                )
+
+    @SLOW
+    @given(graphs())
+    def test_superstep_numbering_dense(self, g):
+        result = run_job(g, SSSP(source=0), cfg("push"))
+        numbers = [s.superstep for s in result.metrics.supersteps]
+        assert numbers == list(range(1, len(numbers) + 1))

@@ -1,0 +1,86 @@
+"""Property-based invariants of the hybrid controller and engine."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=35, max_degree=5):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=n * max_degree))
+    g = Graph(n, name="hypo")
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if src != dst:
+            g.add_edge(src, dst,
+                       draw(st.floats(0.1, 10, allow_nan=False)))
+    return g
+
+
+def hybrid_cfg(draw_args=None, **kwargs):
+    kwargs.setdefault("num_workers", 2)
+    kwargs.setdefault("message_buffer_per_worker", 8)
+    return JobConfig(mode="hybrid", **kwargs)
+
+
+class TestHybridInvariants:
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=4))
+    def test_switch_labels_chain(self, g, interval):
+        result = run_job(g, SSSP(source=0),
+                         hybrid_cfg(switching_interval=interval))
+        trace = result.metrics.mode_trace
+        for prev, cur in zip(trace, trace[1:]):
+            prev_base = prev.split("->")[-1]
+            if "->" in cur:
+                assert cur.split("->")[0] == prev_base
+            else:
+                assert cur == prev_base or prev_base in ("push", "bpull")
+
+    @SLOW
+    @given(graphs())
+    def test_q_trace_matches_superstep_count(self, g):
+        result = run_job(g, PageRank(supersteps=5), hybrid_cfg())
+        assert len(result.metrics.q_trace) == (
+            result.metrics.num_supersteps
+        )
+
+    @SLOW
+    @given(graphs(), st.floats(min_value=0.0, max_value=0.2,
+                               allow_nan=False))
+    def test_deadband_never_changes_results(self, g, deadband):
+        pure = run_job(g, SSSP(source=0), hybrid_cfg())
+        damped = run_job(g, SSSP(source=0),
+                         hybrid_cfg(switching_deadband=deadband))
+        assert damped.values == pure.values
+
+    @SLOW
+    @given(graphs())
+    def test_message_volume_relationship_between_transports(self, g):
+        """push generates messages in its *last* superstep that nobody
+        consumes; b-pull, pulling on demand, never produces them.  Apart
+        from that trailing superstep the two transports move exactly the
+        same messages, and hybrid stays within their envelope."""
+        runs = {}
+        for mode in ("push", "bpull", "hybrid"):
+            runs[mode] = run_job(g, PageRank(supersteps=4),
+                                 JobConfig(mode=mode, num_workers=2,
+                                           message_buffer_per_worker=8))
+        push_total = runs["push"].metrics.total_messages
+        push_tail = runs["push"].metrics.supersteps[-1].raw_messages
+        bpull_total = runs["bpull"].metrics.total_messages
+        assert push_total - push_tail == bpull_total
+        assert runs["hybrid"].metrics.total_messages <= push_total

@@ -1,0 +1,76 @@
+"""Property-based tests: recovery and async never change results."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.core.graph import Graph
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=30, max_degree=4):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=1, max_value=n * max_degree))
+    g = Graph(n, name="hypo")
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if src != dst:
+            g.add_edge(src, dst,
+                       draw(st.floats(0.1, 20, allow_nan=False)))
+    return g
+
+
+class TestRecoveryProperties:
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=4))
+    def test_checkpointed_recovery_transparent(self, g, fault_step,
+                                               interval):
+        cfg = JobConfig(mode="push", num_workers=2,
+                        message_buffer_per_worker=10)
+        clean = run_job(g, PageRank(supersteps=7), cfg)
+        faulty = run_job(
+            g, PageRank(supersteps=7),
+            cfg.but(checkpoint_interval=interval,
+                    fault=FaultPlan(worker=0, superstep=fault_step)),
+        )
+        assert faulty.values == clean.values
+        assert faulty.metrics.num_supersteps == clean.metrics.num_supersteps
+
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=6))
+    def test_scratch_recovery_transparent(self, g, fault_step):
+        cfg = JobConfig(mode="hybrid", num_workers=2,
+                        message_buffer_per_worker=5)
+        clean = run_job(g, SSSP(source=0), cfg)
+        faulty = run_job(
+            g, SSSP(source=0),
+            cfg.but(fault=FaultPlan(worker=1, superstep=fault_step)),
+        )
+        assert faulty.values == clean.values
+
+
+class TestAsyncProperties:
+    @SLOW
+    @given(graphs(), st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=5))
+    def test_async_sssp_fixed_point(self, g, workers, source_seed):
+        source = source_seed % g.num_vertices
+        cfg = JobConfig(mode="push", num_workers=workers,
+                        message_buffer_per_worker=10)
+        sync = run_job(g, SSSP(source=source), cfg)
+        asynchronous = run_job(g, SSSP(source=source),
+                               cfg.but(asynchronous=True))
+        assert asynchronous.values == sync.values
+        assert (asynchronous.metrics.num_supersteps
+                <= sync.metrics.num_supersteps)

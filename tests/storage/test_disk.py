@@ -1,0 +1,130 @@
+"""Unit tests for the simulated disk and throughput profiles."""
+
+import pytest
+
+from repro.storage.disk import (
+    DiskProfile,
+    HDD_PROFILE,
+    IOCounters,
+    SimulatedDisk,
+    SSD_PROFILE,
+)
+
+
+class TestIOCounters:
+    def test_starts_at_zero(self):
+        c = IOCounters()
+        assert c.total == 0
+        assert c.read == 0
+        assert c.write == 0
+
+    def test_read_write_totals(self):
+        c = IOCounters(random_read=1, random_write=2, seq_read=4, seq_write=8)
+        assert c.read == 5
+        assert c.write == 10
+        assert c.total == 15
+
+    def test_add_accumulates(self):
+        a = IOCounters(random_read=1, seq_write=3)
+        b = IOCounters(random_read=2, random_write=5)
+        a.add(b)
+        assert a.random_read == 3
+        assert a.random_write == 5
+        assert a.seq_write == 3
+
+    def test_copy_is_independent(self):
+        a = IOCounters(seq_read=7)
+        b = a.copy()
+        b.seq_read += 1
+        assert a.seq_read == 7
+
+    def test_plus_operator(self):
+        a = IOCounters(random_read=1)
+        b = IOCounters(random_read=2, seq_read=3)
+        c = a + b
+        assert c.random_read == 3
+        assert c.seq_read == 3
+        assert a.random_read == 1  # unchanged
+
+
+class TestSimulatedDisk:
+    def test_read_classifies_by_pattern(self):
+        disk = SimulatedDisk()
+        disk.read(100, sequential=True)
+        disk.read(50, sequential=False)
+        assert disk.counters.seq_read == 100
+        assert disk.counters.random_read == 50
+
+    def test_write_classifies_by_pattern(self):
+        disk = SimulatedDisk()
+        disk.write(30, sequential=True)
+        disk.write(20, sequential=False)
+        assert disk.counters.seq_write == 30
+        assert disk.counters.random_write == 20
+
+    def test_disabled_disk_charges_nothing(self):
+        disk = SimulatedDisk(enabled=False)
+        disk.read(1000, sequential=True)
+        disk.write(1000, sequential=False)
+        assert disk.counters.total == 0
+
+    def test_zero_and_negative_amounts_ignored(self):
+        disk = SimulatedDisk()
+        disk.read(0, sequential=True)
+        disk.write(-5, sequential=True)
+        assert disk.counters.total == 0
+
+    def test_snapshot_does_not_reset(self):
+        disk = SimulatedDisk()
+        disk.read(10, sequential=True)
+        snap = disk.snapshot()
+        disk.read(10, sequential=True)
+        assert snap.seq_read == 10
+        assert disk.counters.seq_read == 20
+
+    def test_drain_resets(self):
+        disk = SimulatedDisk()
+        disk.write(10, sequential=False)
+        drained = disk.drain()
+        assert drained.random_write == 10
+        assert disk.counters.total == 0
+
+
+class TestDiskProfile:
+    def test_table3_random_throughputs(self):
+        # The paper's fio-measured random throughputs (Table 3).
+        assert HDD_PROFILE.random_read_mbps == pytest.approx(1.177)
+        assert HDD_PROFILE.random_write_mbps == pytest.approx(1.182)
+        assert SSD_PROFILE.random_read_mbps == pytest.approx(18.177)
+        assert SSD_PROFILE.random_write_mbps == pytest.approx(18.194)
+
+    def test_network_throughputs(self):
+        assert HDD_PROFILE.network_mbps == pytest.approx(112.0)
+        assert SSD_PROFILE.network_mbps == pytest.approx(116.0)
+
+    def test_io_seconds_uses_per_class_speeds(self):
+        profile = DiskProfile(
+            name="t",
+            random_read_mbps=1.0,
+            random_write_mbps=2.0,
+            seq_read_mbps=4.0,
+            seq_write_mbps=8.0,
+            network_mbps=10.0,
+        )
+        mb = 1024 * 1024
+        counters = IOCounters(
+            random_read=mb, random_write=mb, seq_read=mb, seq_write=mb
+        )
+        assert profile.io_seconds(counters) == pytest.approx(
+            1.0 + 0.5 + 0.25 + 0.125
+        )
+
+    def test_net_seconds(self):
+        profile = HDD_PROFILE
+        assert profile.net_seconds(112 * 1024 * 1024) == pytest.approx(1.0)
+
+    def test_ssd_faster_than_hdd_for_random(self):
+        counters = IOCounters(random_read=10**6, random_write=10**6)
+        assert SSD_PROFILE.io_seconds(counters) < HDD_PROFILE.io_seconds(
+            counters
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for record layouts and byte-size arithmetic."""
+
+from repro.storage.records import DEFAULT_SIZES, RecordSizes
+
+
+class TestDefaultSizes:
+    def test_vertex_record_layout(self):
+        # (id, val, |Vo|) = 4 + 8 + 4
+        assert DEFAULT_SIZES.vertex_record == 16
+
+    def test_theorem2_premises_hold(self):
+        # Theorem 2's proof needs S_m >= S_v, S_m >= S_f and S_m >= S_e.
+        s = DEFAULT_SIZES
+        assert s.message >= s.vertex_value
+        assert s.message >= s.fragment_aux
+        assert s.message >= s.edge
+
+    def test_bulk_helpers_scale_linearly(self):
+        s = DEFAULT_SIZES
+        assert s.messages(10) == 10 * s.message
+        assert s.edges(7) == 7 * s.edge
+        assert s.vertices(3) == 3 * s.vertex_record
+        assert s.fragments(5) == 5 * s.fragment_aux
+
+
+class TestConcatenationArithmetic:
+    def test_concatenated_cheaper_than_plain(self):
+        s = DEFAULT_SIZES
+        # 10 values for 2 destination vertices
+        assert s.concatenated(10, 2) < s.messages(10)
+
+    def test_concatenated_equals_plain_when_all_distinct(self):
+        s = DEFAULT_SIZES
+        # one value per destination: same byte count as plain messages
+        assert s.concatenated(5, 5) == s.messages(5)
+
+    def test_combined_is_one_message_per_group(self):
+        s = DEFAULT_SIZES
+        assert s.combined(4) == 4 * s.message
+
+    def test_combined_cheapest_for_shared_destination(self):
+        s = DEFAULT_SIZES
+        values, groups = 100, 3
+        assert (
+            s.combined(groups)
+            < s.concatenated(values, groups)
+            < s.messages(values)
+        )
+
+
+class TestCustomSizes:
+    def test_custom_layout(self):
+        s = RecordSizes(vertex_id=8, vertex_value=16, edge=16, message=24)
+        assert s.vertex_record == 8 + 16 + 4
+        assert s.messages(2) == 48
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_SIZES.message = 1  # type: ignore[misc]
