@@ -22,6 +22,7 @@ class LPA(VertexProgram):
 
     name = "lpa"
     combinable = False
+    uniform_messages = True
     all_active = True
     default_max_supersteps = 5
 

@@ -26,6 +26,7 @@ class PageRank(VertexProgram):
 
     name = "pagerank"
     combinable = True
+    uniform_messages = True
     all_active = True
     default_max_supersteps = 10
 

@@ -23,6 +23,7 @@ class WCC(VertexProgram):
 
     name = "wcc"
     combinable = True
+    uniform_messages = True
     all_active = False
     default_max_supersteps = 0
     async_safe = True

@@ -23,6 +23,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.core.flags import FlagBitset
 from repro.core.runtime import Runtime
 from repro.storage.records import RecordSizes
 
@@ -87,8 +88,11 @@ def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
     the same checkpoint can serve repeated failures.
     """
     rt.values = list(checkpoint.values)
-    rt.resp_prev = list(checkpoint.resp_prev)
-    rt.resp_next = [False] * rt.graph.num_vertices
+    rt.resp_prev = FlagBitset.from_iterable(checkpoint.resp_prev)
+    rt.resp_next = FlagBitset(rt.graph.num_vertices)
+    # the supersteps after the snapshot are discarded and re-executed;
+    # their traffic samples must not survive into the timeline.
+    rt.network.truncate_timeline(checkpoint.superstep)
     for worker in rt.workers:
         if worker.message_store is None:
             continue

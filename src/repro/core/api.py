@@ -86,6 +86,13 @@ class VertexProgram(ABC):
     combinable: bool = False
     all_active: bool = False
     default_max_supersteps: int = 0
+    #: True iff ``message_value`` ignores the destination and edge weight
+    #: — the payload depends only on ``(vid, value, ctx)`` — so one call
+    #: per source vertex produces the message for *all* its out-edges
+    #: (PageRank's rank share, WCC/LPA's label broadcast).  Executors use
+    #: this to hoist the call out of the per-edge loop; the modeled
+    #: message counts and bytes are unchanged.
+    uniform_messages: bool = False
     #: True iff the algorithm converges to the same fixed point under
     #: asynchronous message delivery (monotonic updates such as SSSP's
     #: min-distance or WCC's min-label).  Required by

@@ -149,6 +149,12 @@ class JobConfig:
     vertices_on_disk_for_pull: bool = True  # Table 5 ext-edge keeps them in memory
     fragment_clustering: bool = True  # ablation: False = one fragment per edge
     fault: Optional[FaultPlan] = None
+    #: superstep executor implementation.  ``"batched"`` (default) is the
+    #: optimized hot path (aggregated disk charges, bitset flags, bucketed
+    #: routing); ``"reference"`` is the per-vertex-accounting oracle in
+    #: :mod:`repro.core.modes.reference`.  Both produce byte-identical
+    #: :class:`JobMetrics` — the equivalence tests run every job twice.
+    executor: str = "batched"
     #: snapshot the iteration state every N supersteps and recover from
     #: the latest snapshot instead of recomputing from scratch — the
     #: lightweight fault tolerance the paper leaves as future work
@@ -170,6 +176,11 @@ class JobConfig:
             raise ValueError(
                 "asynchronous iteration is only supported by the push "
                 "family (push/pushm)"
+            )
+        if self.executor not in ("batched", "reference"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected "
+                "'batched' or 'reference'"
             )
 
     # Convenience -------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.core.graph import Graph
 from repro.core.metrics import JobMetrics
 from repro.core.modes.common import run_superstep
 from repro.core.modes.pull import run_pull_superstep
+from repro.core.modes.reference import run_superstep_reference
 from repro.core.runtime import Runtime
 from repro.core.switching import FixedController, HybridController
 from repro.cluster.checkpoint import restore_checkpoint, take_checkpoint
@@ -148,6 +149,11 @@ def _iterate(
     the newest one even though the loop exits via an exception.
     """
     config = rt.config
+    superstep_fn = (
+        run_superstep_reference
+        if config.executor == "reference"
+        else run_superstep
+    )
     superstep = start_superstep
     while superstep < rt.max_supersteps:
         superstep += 1
@@ -161,7 +167,7 @@ def _iterate(
             label = mode
             if prev_mode is not None and prev_mode != mode:
                 label = f"{prev_mode}->{mode}"
-            step = run_superstep(rt, superstep, in_mech, out_mech, label)
+            step = superstep_fn(rt, superstep, in_mech, out_mech, label)
         mode_label = step.mode
         if config.mode == "pushm":
             mode_label = step.mode = "pushm"

@@ -167,7 +167,12 @@ class JobMetrics:
         return self.compute_seconds / len(self.supersteps)
 
     def to_dict(self) -> Dict:
-        """Full machine-readable dump (for saving experiment runs)."""
+        """Full machine-readable dump (for saving experiment runs).
+
+        The result is JSON-pure (string keys, lists, no tuples) so that
+        ``json.loads(m.to_json()) == m.to_dict()`` holds exactly — the
+        round-trip test and the executor-equivalence guard depend on it.
+        """
         return {
             "mode": self.mode,
             "graph": self.graph_name,
@@ -181,9 +186,10 @@ class JobMetrics:
                 "elapsed_seconds": self.load.elapsed_seconds,
                 "write_bytes": self.load.io.write,
             },
-            "checkpoints": list(self.checkpoints),
+            "checkpoints": [list(c) for c in self.checkpoints],
             "mode_trace": list(self.mode_trace),
             "q_trace": list(self.q_trace),
+            "traffic_timeline": [list(t) for t in self.traffic_timeline],
             "supersteps": [
                 {
                     "superstep": s.superstep,
@@ -194,12 +200,30 @@ class JobMetrics:
                     "io_random_write": s.io.random_write,
                     "io_seq_read": s.io.seq_read,
                     "io_seq_write": s.io.seq_write,
+                    "io_message_spill": s.io_message_spill,
+                    "io_message_read": s.io_message_read,
+                    "io_edges_push": s.io_edges_push,
+                    "io_edges_bpull": s.io_edges_bpull,
+                    "io_fragments": s.io_fragments,
+                    "io_vrr": s.io_vrr,
+                    "io_vertex": s.io_vertex,
                     "net_bytes": s.net_bytes,
+                    "net_transfer_units": s.net_transfer_units,
                     "raw_messages": s.raw_messages,
+                    "mco": s.mco,
+                    "pull_requests": s.pull_requests,
+                    "net_packages": s.net_packages,
                     "spilled_messages": s.spilled_messages,
+                    "lru_misses": s.lru_misses,
+                    "edges_scanned": s.edges_scanned,
                     "updated_vertices": s.updated_vertices,
                     "responding_vertices": s.responding_vertices,
                     "memory_bytes": s.memory_bytes,
+                    "cpu_seconds": s.cpu_seconds,
+                    "blocking_seconds": s.blocking_seconds,
+                    "worker_seconds": {
+                        str(w): t for w, t in s.worker_seconds.items()
+                    },
                     "aggregates": dict(s.aggregates),
                 }
                 for s in self.supersteps

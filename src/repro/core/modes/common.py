@@ -18,6 +18,26 @@ supersteps of Fig. 6 are (pull, push) and (stored, flag).  Because
 ``message_value`` is a pure function of (source value, edge), all four
 combinations produce identical vertex trajectories — the property the
 cross-mode equivalence tests assert.
+
+This module is the *batched* executor: modeled costs are identical to
+:mod:`repro.core.modes.reference` (the per-vertex-accounting oracle),
+but the host-side work per superstep is much cheaper:
+
+* ``IO(V_t)`` is charged with one :meth:`SimulatedDisk.charge` call per
+  worker (``n`` updated records at once) instead of a read/write pair
+  per vertex;
+* outgoing messages are staged directly into per-destination-worker
+  buckets (one C-level ``owner_of`` index per message), so routing never
+  regroups a flat list;
+* Pull-Respond uses :meth:`VEBlockStore.collect_for_request`, which
+  charges each request's fragment reads in bulk;
+* programs with ``uniform_messages`` evaluate ``message_value`` once per
+  source vertex instead of once per out-edge;
+* the inbox/staging containers live on ``Runtime.scratch`` and are
+  cleared in place instead of reallocated every superstep.
+
+The equivalence guard in ``tests/core/test_hotpath_equivalence.py``
+asserts ``JobMetrics.to_dict()`` of both executors is byte-identical.
 """
 
 from __future__ import annotations
@@ -28,6 +48,38 @@ from repro.core.metrics import SuperstepMetrics
 from repro.core.runtime import Runtime
 
 __all__ = ["run_superstep", "bpull_gather"]
+
+#: shared immutable empty inbox for vertices without messages.
+_NO_MESSAGES: Tuple[Any, ...] = ()
+
+
+def _staged_flows(rt: Runtime) -> List[List[List[Tuple[int, Any]]]]:
+    """Per-source, per-destination-worker staging buckets (reused)."""
+    flows = rt.scratch.get("staged_flows")
+    num_workers = len(rt.workers)
+    if flows is None or len(flows) != num_workers:
+        flows = [
+            [[] for _ in range(num_workers)] for _ in range(num_workers)
+        ]
+        rt.scratch["staged_flows"] = flows
+    else:
+        for per_src in flows:
+            for bucket in per_src:
+                if bucket:
+                    bucket.clear()
+    return flows
+
+
+def _pull_inbox(rt: Runtime) -> Dict[int, Dict[int, List[Any]]]:
+    """Per-worker pull inboxes (outer and inner dicts reused)."""
+    inbox = rt.scratch.get("pull_inbox")
+    if inbox is None or len(inbox) != len(rt.workers):
+        inbox = {w.worker_id: {} for w in rt.workers}
+        rt.scratch["pull_inbox"] = inbox
+    else:
+        for per_worker in inbox.values():
+            per_worker.clear()
+    return inbox
 
 
 def run_superstep(
@@ -46,7 +98,8 @@ def run_superstep(
     cfg = rt.config
     sizes = cfg.sizes
     program = rt.program
-    rt.ctx.superstep = superstep
+    ctx = rt.ctx
+    ctx.superstep = superstep
     rt.network.begin_superstep(superstep)
     metrics = SuperstepMetrics(superstep=superstep, mode=mode_label)
     # Asynchronous iteration: each worker routes its messages as soon as
@@ -80,7 +133,8 @@ def run_superstep(
     # ------------------------------------------------------------------
     # Phase 0/1: obtain this superstep's messages.
     # ------------------------------------------------------------------
-    if out_mech == "push":
+    pushing = out_mech == "push"
+    if pushing:
         for worker in rt.workers:
             if worker.adjacency is not None:
                 worker.adjacency.begin_superstep()
@@ -106,9 +160,21 @@ def run_superstep(
     # ------------------------------------------------------------------
     # Phase 2: update vertices; stage outgoing messages if pushing.
     # ------------------------------------------------------------------
-    staged: Dict[int, List[Tuple[int, Any]]] = {
-        w.worker_id: [] for w in rt.workers
-    }
+    staged = _staged_flows(rt)
+    values = rt.values
+    resp_raw = rt.resp_next.data
+    owner_of = rt.owner_of
+    update = program.update
+    aggregate = program.aggregate
+    message_value = program.message_value
+    uniform = program.uniform_messages
+    # uniform programs stage (dsts, payload) fan-out groups instead of
+    # one (dst, payload) pair per edge; see Runtime.push_fanout.
+    fanout = rt.push_fanout if (uniform and pushing) else None
+    aggregates = metrics.aggregates
+    vertex_record = sizes.vertex_record
+    edge_record = sizes.edge
+
     for worker in rt.workers:
         wid = worker.worker_id
         if async_mode:
@@ -116,7 +182,7 @@ def run_superstep(
             inbox[wid] = result.messages
             metrics.io_message_read += result.spilled_read
             spill_read_of[wid] = result.spilled_count
-        msgs = inbox.get(wid, {})
+        msgs = inbox.get(wid) or {}
         if superstep == 1:
             # initially-active vertices, plus any that already received
             # messages (possible under asynchronous delivery).
@@ -130,54 +196,85 @@ def run_superstep(
             targets = worker.vertices
         else:
             targets = sorted(msgs.keys())
+
+        flows = staged[wid]
+        flow_append = [bucket.append for bucket in flows]
+        msgs_get = msgs.get
+        adjacency = worker.adjacency
+        read_out_edges = adjacency.read_out_edges if adjacency else None
+        n_respond = 0
+        raw_staged = 0
+        edges_scanned = 0
+        edge_bytes = 0
         for vid in targets:
-            mlist = msgs.get(vid, [])
-            old_value = rt.values[vid]
-            result = program.update(vid, old_value, mlist, rt.ctx)
-            rt.values[vid] = result.value
-            rt.resp_next[vid] = result.respond
-            updates_of[wid] += 1
-            contribution = program.aggregate(
-                vid, old_value, result.value, rt.ctx
+            old_value = values[vid]
+            result = update(
+                vid, old_value, msgs_get(vid, _NO_MESSAGES), ctx
             )
+            new_value = result.value
+            values[vid] = new_value
+            respond = result.respond
+            if respond:
+                resp_raw[vid] = 1
+                n_respond += 1
+            contribution = aggregate(vid, old_value, new_value, ctx)
             if contribution:
                 for agg_key, agg_val in contribution.items():
-                    metrics.aggregates[agg_key] = (
-                        metrics.aggregates.get(agg_key, 0.0) + agg_val
+                    aggregates[agg_key] = (
+                        aggregates.get(agg_key, 0.0) + agg_val
                     )
-            # IO(V_t): the vertex record is read and rewritten.
-            worker.disk.read(sizes.vertex_record, sequential=True)
-            worker.disk.write(sizes.vertex_record, sequential=True)
-            metrics.io_vertex += 2 * sizes.vertex_record
-            if out_mech == "push" and result.respond:
-                if worker.adjacency is None:
+            if pushing and respond:
+                if read_out_edges is None:
                     raise RuntimeError(
                         "push output requires an adjacency store"
                     )
-                edges, charged = worker.adjacency.read_out_edges(vid)
-                scanned = charged // sizes.edge
-                edges_of[wid] += scanned
-                metrics.io_edges_push += charged
-                metrics.edges_scanned += scanned
-                value = rt.values[vid]
-                for dst, weight in edges:
-                    payload = program.message_value(
-                        vid, value, dst, weight, rt.ctx
-                    )
-                    if payload is None:
-                        continue
-                    staged[wid].append((dst, payload))
-                    msgs_gen_of[wid] += 1
-                    metrics.raw_messages += 1
-        if async_mode and staged[wid]:
-            _route_pushed(rt, {wid: staged[wid]}, metrics)
-            staged[wid] = []
+                edges, charged = read_out_edges(vid)
+                if charged:
+                    edges_scanned += charged // edge_record
+                    edge_bytes += charged
+                if fanout is not None:
+                    if edges:
+                        payload = message_value(
+                            vid, new_value, edges[0][0], edges[0][1], ctx
+                        )
+                        if payload is not None:
+                            for dst_wid, dsts in fanout[vid]:
+                                flow_append[dst_wid]((dsts, payload))
+                            raw_staged += len(edges)
+                else:
+                    for dst, weight in edges:
+                        payload = message_value(
+                            vid, new_value, dst, weight, ctx
+                        )
+                        if payload is None:
+                            continue
+                        flow_append[owner_of[dst]]((dst, payload))
+                        raw_staged += 1
+        rt.resp_next.add_to_count(n_respond)
+        updates_of[wid] = len(targets)
+        msgs_gen_of[wid] += raw_staged
+        metrics.raw_messages += raw_staged
+        edges_of[wid] += edges_scanned
+        metrics.edges_scanned += edges_scanned
+        metrics.io_edges_push += edge_bytes
+        # IO(V_t): every updated vertex record is read and rewritten —
+        # one aggregated charge per worker per superstep.
+        if targets:
+            record_bytes = len(targets) * vertex_record
+            worker.disk.charge(
+                seq_read=record_bytes, seq_write=record_bytes
+            )
+            metrics.io_vertex += 2 * record_bytes
+        if async_mode:
+            _route_flows(rt, wid, flows, metrics, fanout is not None)
 
     # ------------------------------------------------------------------
     # Phase 3: route staged messages (push output only).
     # ------------------------------------------------------------------
-    if out_mech == "push" and not async_mode:
-        _route_pushed(rt, staged, metrics)
+    if pushing and not async_mode:
+        for worker in rt.workers:
+            _route_flows(rt, worker.worker_id, staged[worker.worker_id],
+                         metrics, fanout is not None)
 
     # ------------------------------------------------------------------
     # Metrics assembly.
@@ -227,12 +324,21 @@ def run_superstep(
     return metrics
 
 
-def _route_pushed(
+def _route_flows(
     rt: Runtime,
-    staged: Dict[int, List[Tuple[int, Any]]],
+    src_wid: int,
+    flows: List[List[Any]],
     metrics: SuperstepMetrics,
+    fanout_form: bool,
 ) -> None:
-    """Ship staged messages to the receiver-side stores.
+    """Ship one worker's staged per-destination buckets.
+
+    Same flow order, network charges, combine decisions, and deposit
+    order as the reference ``_route_pushed`` (flows are visited in
+    ascending ``(src, dst)`` order there too); buckets are cleared in
+    place for reuse by the next superstep.  With ``fanout_form`` the
+    buckets hold ``(dsts, payload)`` groups (uniform-message programs)
+    instead of ``(dst, payload)`` pairs.
 
     Plain push ships every message individually (Section 5.1: Giraph and
     GPS do not concatenate/combine at the sender — poor destination
@@ -243,27 +349,54 @@ def _route_pushed(
     cfg = rt.config
     sizes = cfg.sizes
     program = rt.program
-    per_flow: Dict[Tuple[int, int], List[Tuple[int, Any]]] = {}
-    for src_wid, messages in staged.items():
-        for dst, payload in messages:
-            dst_wid = rt.owner(dst)
-            per_flow.setdefault((src_wid, dst_wid), []).append((dst, payload))
-
-    for (src_wid, dst_wid), messages in sorted(per_flow.items()):
+    combining = cfg.sender_combine and program.combinable
+    transfer = rt.network.transfer
+    for dst_wid, messages in enumerate(flows):
+        if not messages:
+            continue
         store = rt.workers[dst_wid].message_store
-        if cfg.sender_combine and program.combinable:
-            shipped = _combine_within_threshold(
-                messages, program.combine, sizes.message,
-                cfg.sending_threshold_bytes,
-            )
+        if fanout_form:
+            count = 0
+            for dsts, _payload in messages:
+                count += len(dsts)
+            if combining:
+                flat = [
+                    (dst, payload)
+                    for dsts, payload in messages
+                    for dst in dsts
+                ]
+                shipped = _combine_within_threshold(
+                    flat, program.combine, sizes.message,
+                    cfg.sending_threshold_bytes,
+                )
+                transfer(
+                    src_wid, dst_wid, sizes.messages(len(shipped)),
+                    units=len(shipped),
+                )
+                if src_wid != dst_wid:
+                    metrics.mco += count - len(shipped)
+                store.deposit_many(shipped)
+            else:
+                transfer(
+                    src_wid, dst_wid, sizes.messages(count), units=count
+                )
+                store.deposit_fanout(messages, count)
         else:
-            shipped = messages
-        nbytes = sizes.messages(len(shipped))
-        rt.network.transfer(src_wid, dst_wid, nbytes, units=len(shipped))
-        if src_wid != dst_wid:
-            metrics.mco += len(messages) - len(shipped)
-        for dst, payload in shipped:
-            store.deposit(dst, payload)
+            if combining:
+                shipped = _combine_within_threshold(
+                    messages, program.combine, sizes.message,
+                    cfg.sending_threshold_bytes,
+                )
+            else:
+                shipped = messages
+            transfer(
+                src_wid, dst_wid, sizes.messages(len(shipped)),
+                units=len(shipped),
+            )
+            if src_wid != dst_wid:
+                metrics.mco += len(messages) - len(shipped)
+            store.deposit_many(shipped)
+        messages.clear()
 
 
 def _combine_within_threshold(
@@ -316,12 +449,20 @@ def bpull_gather(
     cfg = rt.config
     sizes = cfg.sizes
     program = rt.program
+    ctx = rt.ctx
     combinable = program.combinable and cfg.bpull_combine
     flags = rt.resp_prev
     values = rt.values
-    inbox: Dict[int, Dict[int, List[Any]]] = {
-        w.worker_id: {} for w in rt.workers
-    }
+    message_value = program.message_value
+    combine = program.combine if combinable else None
+    uniform = program.uniform_messages
+    inbox = _pull_inbox(rt)
+    # Uniform programs: the payload depends only on the source vertex and
+    # its (fixed-within-gather) value, so memoize one payload per
+    # responding vertex for the whole gather instead of recomputing it
+    # for every fragment the vertex appears in.
+    payload_of: Dict[int, Any] = {}
+    _missing = payload_of  # unique sentinel
 
     for worker in rt.workers:
         if worker.veblock is None:
@@ -340,45 +481,118 @@ def bpull_gather(
             for responder in rt.workers:
                 ry = responder.worker_id
                 rt.network.send_request(rx, ry)
-                buffer: Dict[int, List[Any]] = {}
-                nvalues = 0
-                for svertex, edges in responder.veblock.scan_for_request(
+                fragments = responder.veblock.collect_for_request(
                     block_id, flags
-                ):
-                    svalue = values[svertex]
-                    for dst, weight in edges:
-                        payload = program.message_value(
-                            svertex, svalue, dst, weight, rt.ctx
-                        )
-                        if payload is None:
-                            continue
-                        buffer.setdefault(dst, []).append(payload)
-                        nvalues += 1
-                if not buffer:
+                )
+                if not fragments:
                     continue
-                metrics.raw_messages += nvalues
-                msgs_gen_of[ry] += nvalues
-                ngroups = len(buffer)
+                nvalues = 0
                 if combinable:
+                    # Combine incrementally while filling the buffer —
+                    # the same left-to-right fold ``combine_all`` would
+                    # apply to the per-destination list, without
+                    # materialising the list.
+                    cbuffer: Dict[int, Any] = {}
+                    if uniform:
+                        for svertex, edges in fragments:
+                            payload = payload_of.get(svertex, _missing)
+                            if payload is _missing:
+                                payload = message_value(
+                                    svertex, values[svertex],
+                                    edges[0][0], edges[0][1], ctx,
+                                )
+                                payload_of[svertex] = payload
+                            if payload is None:
+                                continue
+                            for dst, _weight in edges:
+                                if dst in cbuffer:
+                                    cbuffer[dst] = combine(
+                                        cbuffer[dst], payload
+                                    )
+                                else:
+                                    cbuffer[dst] = payload
+                            nvalues += len(edges)
+                    else:
+                        for svertex, edges in fragments:
+                            svalue = values[svertex]
+                            for dst, weight in edges:
+                                payload = message_value(
+                                    svertex, svalue, dst, weight, ctx
+                                )
+                                if payload is None:
+                                    continue
+                                if dst in cbuffer:
+                                    cbuffer[dst] = combine(
+                                        cbuffer[dst], payload
+                                    )
+                                else:
+                                    cbuffer[dst] = payload
+                                nvalues += 1
+                    if not cbuffer:
+                        continue
+                    ngroups = len(cbuffer)
                     nbytes = sizes.combined(ngroups)
                     units = ngroups
                 else:
+                    buffer: Dict[int, List[Any]] = {}
+                    if uniform:
+                        for svertex, edges in fragments:
+                            payload = payload_of.get(svertex, _missing)
+                            if payload is _missing:
+                                payload = message_value(
+                                    svertex, values[svertex],
+                                    edges[0][0], edges[0][1], ctx,
+                                )
+                                payload_of[svertex] = payload
+                            if payload is None:
+                                continue
+                            for dst, _weight in edges:
+                                if dst in buffer:
+                                    buffer[dst].append(payload)
+                                else:
+                                    buffer[dst] = [payload]
+                            nvalues += len(edges)
+                    else:
+                        for svertex, edges in fragments:
+                            svalue = values[svertex]
+                            for dst, weight in edges:
+                                payload = message_value(
+                                    svertex, svalue, dst, weight, ctx
+                                )
+                                if payload is None:
+                                    continue
+                                if dst in buffer:
+                                    buffer[dst].append(payload)
+                                else:
+                                    buffer[dst] = [payload]
+                                nvalues += 1
+                    if not buffer:
+                        continue
+                    ngroups = len(buffer)
                     nbytes = sizes.concatenated(nvalues, ngroups)
                     units = nvalues
-                send_buffer_peak[ry] = max(send_buffer_peak[ry], nbytes)
+                metrics.raw_messages += nvalues
+                msgs_gen_of[ry] += nvalues
+                if nbytes > send_buffer_peak[ry]:
+                    send_buffer_peak[ry] = nbytes
                 rt.network.transfer(ry, rx, nbytes, units=units)
                 if ry != rx:
                     metrics.mco += nvalues - ngroups
                 block_received += nbytes
-                for dst, payloads in sorted(buffer.items()):
-                    if combinable:
-                        local_inbox.setdefault(dst, []).append(
-                            program.combine_all(payloads)
-                        )
-                    else:
-                        local_inbox.setdefault(dst, []).extend(payloads)
-            recv_block_peak[rx] = max(recv_block_peak[rx], block_received)
-
+                if combinable:
+                    for dst, combined in sorted(cbuffer.items()):
+                        if dst in local_inbox:
+                            local_inbox[dst].append(combined)
+                        else:
+                            local_inbox[dst] = [combined]
+                else:
+                    for dst, payloads in sorted(buffer.items()):
+                        if dst in local_inbox:
+                            local_inbox[dst].extend(payloads)
+                        else:
+                            local_inbox[dst] = list(payloads)
+            if block_received > recv_block_peak[rx]:
+                recv_block_peak[rx] = block_received
     # scan statistics -> metrics
     for worker in rt.workers:
         edges_scanned, aux_bytes, edge_bytes, vrr_bytes = (

@@ -59,7 +59,20 @@ def run_pull_superstep(rt: Runtime, superstep: int) -> SuperstepMetrics:
     edges_of = {w.worker_id: 0 for w in rt.workers}
 
     # --- phase 1: gather (reads only superstep t-1 values) --------------
-    gathered: Dict[int, Tuple[List[Any], Set[int]]] = {}
+    # ``gathered`` is reused across supersteps (cleared in place); the
+    # per-vertex in-edge scan is charged with one bulk ``charge`` per
+    # join-site machine instead of one ``read`` per edge — identical
+    # byte totals, far fewer calls on the hot path.
+    gathered: Dict[int, Tuple[List[Any], Set[int]]] = rt.scratch.setdefault(
+        "pull_gathered", {}
+    )
+    gathered.clear()
+    owner_of = rt.owner_of
+    workers = rt.workers
+    raw_flags = flags.data
+    values = rt.values
+    message_value = program.message_value
+    edge_bytes = sizes.edge
     for worker in rt.workers:
         wid = worker.worker_id
         for vid in _update_targets(rt, worker.vertices, superstep):
@@ -67,23 +80,22 @@ def run_pull_superstep(rt: Runtime, superstep: int) -> SuperstepMetrics:
             messages: List[Any] = []
             partials: Dict[int, List[Any]] = {}
             machines: Set[int] = set()
+            scanned_of: Dict[int, int] = {}
             for src, weight in in_edges:
-                src_machine = rt.owner(src)
-                responder = rt.workers[src_machine]
+                src_machine = owner_of[src]
                 # the in-edge record is scanned at the join site
-                responder.disk.read(sizes.edge, sequential=True)
-                edges_of[src_machine] += 1
-                metrics.edges_scanned += 1
-                if not flags[src]:
+                scanned_of[src_machine] = scanned_of.get(src_machine, 0) + 1
+                if not raw_flags[src]:
                     continue
+                responder = workers[src_machine]
                 if responder.vertex_cache is not None:
                     responder.vertex_cache.access(src)
                     if src_machine != wid:
                         responder.vertex_cache.access(
                             _mirror_key(vid, n)
                         )
-                payload = program.message_value(
-                    src, rt.values[src], vid, weight, rt.ctx
+                payload = message_value(
+                    src, values[src], vid, weight, rt.ctx
                 )
                 if payload is None:
                     continue
@@ -94,6 +106,12 @@ def run_pull_superstep(rt: Runtime, superstep: int) -> SuperstepMetrics:
                 else:
                     partials.setdefault(src_machine, []).append(payload)
                     machines.add(src_machine)
+            for src_machine, scanned in scanned_of.items():
+                workers[src_machine].disk.charge(
+                    seq_read=scanned * edge_bytes
+                )
+                edges_of[src_machine] += scanned
+            metrics.edges_scanned += len(in_edges)
             # network: request + partial gathers per remote machine
             for machine, payloads in sorted(partials.items()):
                 rt.network.send_request(wid, machine)
@@ -191,9 +209,10 @@ def _update_targets(
         ]
     if program.all_active:
         return list(local_vertices)
-    flags = rt.resp_prev
+    raw_flags = rt.resp_prev.data
+    reverse = rt.reverse
     return [
         v
         for v in local_vertices
-        if any(flags[src] for src, _w in rt.reverse[v])
+        if any(raw_flags[src] for src, _w in reverse[v])
     ]

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.core.api import ProgramContext, VertexProgram
 from repro.core.config import JobConfig
+from repro.core.flags import FlagBitset
 from repro.core.graph import Graph, Partition, hash_partition, range_partition
 from repro.core.metrics import LoadMetrics
 from repro.cluster.network import SimulatedNetwork
@@ -126,9 +127,43 @@ class Runtime:
         self.reverse: Optional[List[List]] = None
         # shared vertex state
         self.values: List[Any] = []
-        self.resp_prev: List[bool] = []
-        self.resp_next: List[bool] = []
+        self.resp_prev: FlagBitset = FlagBitset(0)
+        self.resp_next: FlagBitset = FlagBitset(0)
+        #: vertex id -> owning worker, precomputed so the message-routing
+        #: hot path pays a C-level list index instead of a method call.
+        self.owner_of: List[int] = [
+            self.partition.owner(v) for v in range(graph.num_vertices)
+        ]
         self.load_metrics = LoadMetrics()
+        self._in_degree_cache: Optional[List[int]] = None
+        #: reusable executor containers (inbox / staging buffers), keyed
+        #: by purpose; the mode executors clear them in place each
+        #: superstep instead of reallocating — see modes/common.py.
+        self.scratch: dict = {}
+        #: for uniform-message programs on push-capable modes: vertex id
+        #: -> ((dst_worker, (dst, dst, ...)), ...), the out-neighbors
+        #: grouped by owning worker.  The batched executor stages one
+        #: (dsts, payload) group per (vertex, worker) pair instead of one
+        #: (dst, payload) tuple per edge.  None when not applicable.
+        self.push_fanout: Optional[List[tuple]] = None
+        if program.uniform_messages and self.needs_adjacency():
+            owner_of = self.owner_of
+            fanout: List[tuple] = []
+            for v in range(graph.num_vertices):
+                groups: dict = {}
+                for dst, _w in graph.out_edges(v):
+                    wid = owner_of[dst]
+                    if wid in groups:
+                        groups[wid].append(dst)
+                    else:
+                        groups[wid] = [dst]
+                fanout.append(
+                    tuple(
+                        (wid, tuple(dsts))
+                        for wid, dsts in sorted(groups.items())
+                    )
+                )
+            self.push_fanout = fanout
         self._init_state()
 
     # ------------------------------------------------------------------
@@ -138,12 +173,15 @@ class Runtime:
         self.values = [
             self.program.initial_value(v, self.ctx) for v in range(n)
         ]
-        self.resp_prev = [False] * n
-        self.resp_next = [False] * n
+        self.resp_prev = FlagBitset(n)
+        self.resp_next = FlagBitset(n)
 
     def reset_for_restart(self) -> None:
         """Recompute-from-scratch recovery: drop all iteration state."""
         self._init_state()
+        # discard traffic samples of the thrown-away supersteps so the
+        # Fig. 18 timeline only reflects work that counts.
+        self.network.clear_timeline()
         for worker in self.workers:
             if worker.message_store is not None:
                 worker.message_store.load()  # drain without using the result
@@ -152,7 +190,7 @@ class Runtime:
 
     def _reset_cache(self, worker: Worker) -> None:
         worker.vertex_cache = LRUVertexCache(
-            capacity=worker.vertex_cache._capacity,
+            capacity=worker.vertex_cache.capacity,
             sizes=self.config.sizes,
             disk=worker.disk,
         )
@@ -261,8 +299,6 @@ class Runtime:
         ranked = sorted(worker.vertices, key=lambda v: (-in_degs[v], v))
         return ranked[:budget]
 
-    _in_degree_cache: Optional[List[int]] = None
-
     def _in_degrees(self) -> List[int]:
         if self._in_degree_cache is None:
             self._in_degree_cache = self.graph.in_degrees()
@@ -327,14 +363,20 @@ class Runtime:
     # helpers used by the modes
     # ------------------------------------------------------------------
     def owner(self, vid: int) -> int:
-        return self.partition.owner(vid)
+        return self.owner_of[vid]
 
     def swap_flags(self) -> None:
-        self.resp_prev = self.resp_next
-        self.resp_next = [False] * self.graph.num_vertices
+        """Roll the flag double-buffer, allocation-free.
+
+        The spare buffer (last superstep's ``resp_prev``) is cleared in
+        place and becomes the new ``resp_next``; no O(n) list is built.
+        """
+        self.resp_prev, self.resp_next = self.resp_next, self.resp_prev
+        self.resp_next.clear()
 
     def responding_count(self) -> int:
-        return sum(1 for flag in self.resp_next if flag)
+        """Flags set this superstep — O(1) via the maintained count."""
+        return self.resp_next.true_count
 
     def pending_messages(self) -> int:
         return sum(

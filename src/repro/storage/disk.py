@@ -164,6 +164,34 @@ class SimulatedDisk:
         else:
             self.counters.random_write += nbytes
 
+    def charge(
+        self,
+        *,
+        random_read: int = 0,
+        random_write: int = 0,
+        seq_read: int = 0,
+        seq_write: int = 0,
+    ) -> None:
+        """Bulk-charge pre-aggregated byte counts, one call per superstep.
+
+        Equivalent to the corresponding sequence of :meth:`read` /
+        :meth:`write` calls — the counters are plain byte sums, so
+        callers that know their totals up front (e.g. ``n`` vertex
+        records updated this superstep) can charge them in a single call
+        instead of ``2n`` per-record calls on the hot path.
+        """
+        if not self.enabled:
+            return
+        counters = self.counters
+        if random_read > 0:
+            counters.random_read += random_read
+        if random_write > 0:
+            counters.random_write += random_write
+        if seq_read > 0:
+            counters.seq_read += seq_read
+        if seq_write > 0:
+            counters.seq_write += seq_write
+
     def snapshot(self) -> IOCounters:
         """Return a copy of the counters accumulated so far."""
         return self.counters.copy()

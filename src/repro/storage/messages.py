@@ -95,6 +95,139 @@ class SpillingMessageStore:
         self.total_spilled += 1
         self._disk.write(self._sizes.message, sequential=False)
 
+    def deposit_many(self, messages: List[Any]) -> None:
+        """Receive a batch of ``(dst, value)`` pairs.
+
+        Semantically identical to calling :meth:`deposit` per pair (same
+        combine decisions, same spill boundary, same charged bytes) but
+        with the per-message attribute lookups hoisted out of the loop —
+        the receiver side of the push hot path.
+        """
+        self.total_deposited += len(messages)
+        mem = self._mem
+        combine = self._combine
+        capacity = self._capacity
+        mem_count = self._mem_count
+        spilled = 0
+        if combine is None:
+            # Without a receiver combiner the mem/spill decision is
+            # purely positional: the first ``capacity - mem_count``
+            # messages fit, the rest spill — so split once instead of
+            # re-testing the capacity per message.
+            if capacity is None:
+                fits = len(messages)
+            elif mem_count < capacity:
+                fits = min(len(messages), capacity - mem_count)
+            else:
+                fits = 0
+            for dst, value in messages[:fits] if fits < len(
+                messages
+            ) else messages:
+                if dst in mem:
+                    mem[dst].append(value)
+                else:
+                    mem[dst] = [value]
+            mem_count += fits
+            if fits < len(messages):
+                spill = self._spill
+                for dst, value in messages[fits:]:
+                    if dst in spill:
+                        spill[dst].append(value)
+                    else:
+                        spill[dst] = [value]
+                spilled = len(messages) - fits
+        else:
+            for dst, value in messages:
+                if dst in mem:
+                    bucket = mem[dst]
+                    bucket[0] = combine(bucket[0], value)
+                    continue
+                if capacity is None or mem_count < capacity:
+                    mem[dst] = [value]
+                    mem_count += 1
+                    continue
+                self._spill.setdefault(dst, []).append(value)
+                spilled += 1
+        self._mem_count = mem_count
+        if spilled:
+            self._spill_count += spilled
+            self.total_spilled += spilled
+            self._disk.charge(
+                random_write=spilled * self._sizes.message
+            )
+
+    def deposit_fanout(self, groups: List[Any], count: int) -> None:
+        """Receive ``count`` messages given as ``(dsts, value)`` groups.
+
+        Uniform-message programs send one identical value to many
+        destinations; the batched executor ships the fan-out groups
+        instead of flattened pairs.  Semantically identical to calling
+        :meth:`deposit` for every ``(dst, value)`` pair in nested order —
+        same positional mem/spill split, same charged bytes.
+        """
+        self.total_deposited += count
+        mem = self._mem
+        combine = self._combine
+        capacity = self._capacity
+        mem_count = self._mem_count
+        spilled = 0
+        if combine is None:
+            spill = self._spill
+            room = None if capacity is None else capacity - mem_count
+            for dsts, value in groups:
+                k = len(dsts)
+                if room is None or room >= k:
+                    for dst in dsts:
+                        if dst in mem:
+                            mem[dst].append(value)
+                        else:
+                            mem[dst] = [value]
+                    mem_count += k
+                    if room is not None:
+                        room -= k
+                elif room <= 0:
+                    for dst in dsts:
+                        if dst in spill:
+                            spill[dst].append(value)
+                        else:
+                            spill[dst] = [value]
+                    spilled += k
+                else:
+                    # group straddles the buffer boundary
+                    for dst in dsts[:room]:
+                        if dst in mem:
+                            mem[dst].append(value)
+                        else:
+                            mem[dst] = [value]
+                    for dst in dsts[room:]:
+                        if dst in spill:
+                            spill[dst].append(value)
+                        else:
+                            spill[dst] = [value]
+                    mem_count += room
+                    spilled += k - room
+                    room = 0
+        else:
+            for dsts, value in groups:
+                for dst in dsts:
+                    if dst in mem:
+                        bucket = mem[dst]
+                        bucket[0] = combine(bucket[0], value)
+                        continue
+                    if capacity is None or mem_count < capacity:
+                        mem[dst] = [value]
+                        mem_count += 1
+                        continue
+                    self._spill.setdefault(dst, []).append(value)
+                    spilled += 1
+        self._mem_count = mem_count
+        if spilled:
+            self._spill_count += spilled
+            self.total_spilled += spilled
+            self._disk.charge(
+                random_write=spilled * self._sizes.message
+            )
+
     def load(self) -> LoadResult:
         """Drain the store (the push family's ``load()``).
 
@@ -160,6 +293,17 @@ class OnlineMessageStore:
         self._spill_count += 1
         self.total_spilled += 1
         self._disk.write(self._sizes.message, sequential=False)
+
+    def deposit_many(self, messages: List[Any]) -> None:
+        """Batched :meth:`deposit` — see ``SpillingMessageStore``."""
+        for dst, value in messages:
+            self.deposit(dst, value)
+
+    def deposit_fanout(self, groups: List[Any], count: int) -> None:
+        """Nested-form :meth:`deposit` — see ``SpillingMessageStore``."""
+        for dsts, value in groups:
+            for dst in dsts:
+                self.deposit(dst, value)
 
     def load(self) -> LoadResult:
         spilled_count = self._spill_count

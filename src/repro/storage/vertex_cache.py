@@ -82,6 +82,11 @@ class LRUVertexCache:
         self.evictions = 0
 
     @property
+    def capacity(self) -> Optional[int]:
+        """Configured capacity in vertices (None = unlimited/no disk)."""
+        return self._capacity
+
+    @property
     def resident(self) -> int:
         return len(self._entries)
 

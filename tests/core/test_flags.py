@@ -1,0 +1,78 @@
+"""Unit tests for the FlagBitset backing the responding flags."""
+
+import pytest
+
+from repro.core.flags import FlagBitset
+
+
+class TestFlagBitset:
+    def test_starts_all_false(self):
+        flags = FlagBitset(5)
+        assert list(flags) == [False] * 5
+        assert flags.true_count == 0
+
+    def test_setitem_and_getitem_return_real_bools(self):
+        flags = FlagBitset(3)
+        flags[1] = True
+        assert flags[1] is True
+        assert flags[0] is False
+
+    def test_count_maintained(self):
+        flags = FlagBitset(6)
+        flags[0] = True
+        flags[3] = True
+        assert flags.true_count == 2
+        flags[3] = False
+        assert flags.true_count == 1
+        # idempotent writes do not corrupt the count
+        flags[0] = True
+        flags[3] = False
+        assert flags.true_count == 1
+
+    def test_truthy_values_accepted(self):
+        flags = FlagBitset(3)
+        flags[0] = 1
+        flags[1] = "yes"
+        assert flags.true_count == 2
+
+    def test_clear_resets_in_place(self):
+        flags = FlagBitset(4)
+        flags[0] = flags[2] = True
+        data_before = flags.data
+        flags.clear()
+        assert flags.true_count == 0
+        assert list(flags) == [False] * 4
+        assert flags.data is data_before  # allocation-free
+
+    def test_from_iterable(self):
+        flags = FlagBitset.from_iterable([True, False, True, True])
+        assert flags.true_count == 3
+        assert flags[0] is True and flags[1] is False
+
+    def test_to_list(self):
+        flags = FlagBitset.from_iterable([False, True])
+        assert flags.to_list() == [False, True]
+
+    def test_len_and_iter(self):
+        flags = FlagBitset(4)
+        assert len(flags) == 4
+        flags[2] = True
+        assert [b for b in flags] == [False, False, True, False]
+
+    def test_raw_data_writes_with_add_to_count(self):
+        # the executor hot-loop contract: write bytes directly, then
+        # reconcile the count once per batch.
+        flags = FlagBitset(5)
+        raw = flags.data
+        raw[1] = 1
+        raw[4] = 1
+        flags.add_to_count(2)
+        assert flags.true_count == 2
+        assert flags[1] is True and flags[4] is True
+
+    def test_index_error_propagates(self):
+        flags = FlagBitset(2)
+        with pytest.raises(IndexError):
+            flags[2] = True
+        with pytest.raises(IndexError):
+            _ = flags[5]

@@ -1,0 +1,176 @@
+"""Equivalence guard: batched executor vs per-vertex reference executor.
+
+The batched hot path (aggregated ``SimulatedDisk.charge`` calls, bitset
+flags, per-destination-worker staging, fan-out deposits) must produce
+**byte-identical** modeled metrics to the pre-optimization executor in
+``repro.core.modes.reference``.  These tests run the same jobs through
+both and compare the full ``JobMetrics.to_dict()`` dumps.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.lpa import LPA
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+from repro.storage.disk import SimulatedDisk
+from repro.storage.messages import SpillingMessageStore
+from repro.storage.records import DEFAULT_SIZES
+
+
+def run_both(graph, program_factory, **cfg_kwargs):
+    results = {}
+    for executor in ("batched", "reference"):
+        cfg = JobConfig(executor=executor, **cfg_kwargs)
+        results[executor] = run_job(graph, program_factory(), cfg)
+    return results["batched"], results["reference"]
+
+
+def assert_identical(batched, reference):
+    a = batched.metrics.to_dict()
+    b = reference.metrics.to_dict()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert batched.values == reference.values
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("mode", ["push", "bpull", "hybrid"])
+    @pytest.mark.parametrize(
+        "program_factory",
+        [PageRank, lambda: SSSP(source=0), LPA],
+        ids=["pagerank", "sssp", "lpa"],
+    )
+    def test_metrics_identical_disk_resident(self, mode, program_factory):
+        g = random_graph(300, 6, seed=42)
+        batched, reference = run_both(
+            g, program_factory, mode=mode, num_workers=4,
+            message_buffer_per_worker=100, max_supersteps=6,
+        )
+        assert_identical(batched, reference)
+
+    def test_metrics_identical_memory_sufficient(self):
+        g = random_graph(200, 5, seed=9)
+        batched, reference = run_both(
+            g, PageRank, mode="push", num_workers=3,
+            graph_on_disk=False, max_supersteps=5,
+        )
+        assert_identical(batched, reference)
+
+    def test_metrics_identical_pushm(self):
+        g = random_graph(200, 5, seed=9)
+        batched, reference = run_both(
+            g, PageRank, mode="pushm", num_workers=3,
+            message_buffer_per_worker=60, max_supersteps=5,
+        )
+        assert_identical(batched, reference)
+
+    def test_metrics_identical_with_receiver_combine(self):
+        g = random_graph(200, 5, seed=17)
+        batched, reference = run_both(
+            g, PageRank, mode="push", num_workers=3,
+            message_buffer_per_worker=50, receiver_combine=True,
+            max_supersteps=5,
+        )
+        assert_identical(batched, reference)
+
+    def test_metrics_identical_with_sender_combine(self):
+        g = random_graph(200, 5, seed=17)
+        batched, reference = run_both(
+            g, PageRank, mode="push", num_workers=3,
+            message_buffer_per_worker=50, sender_combine=True,
+            max_supersteps=5,
+        )
+        assert_identical(batched, reference)
+
+    def test_metrics_identical_hash_partition(self):
+        g = random_graph(250, 5, seed=23)
+        batched, reference = run_both(
+            g, PageRank, mode="hybrid", num_workers=4,
+            partition="hash", message_buffer_per_worker=80,
+            max_supersteps=6,
+        )
+        assert_identical(batched, reference)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            JobConfig(executor="turbo")
+
+
+class TestBulkChargeApi:
+    def test_charge_equals_read_write_sequence(self):
+        a = SimulatedDisk()
+        b = SimulatedDisk()
+        for _ in range(10):
+            a.read(8, sequential=True)
+            a.write(8, sequential=True)
+            a.read(3, sequential=False)
+            a.write(5, sequential=False)
+        b.charge(seq_read=80, seq_write=80, random_read=30,
+                 random_write=50)
+        assert a.counters == b.counters
+
+    def test_charge_disabled_disk_is_noop(self):
+        disk = SimulatedDisk(enabled=False)
+        disk.charge(seq_read=100, random_write=100)
+        assert disk.counters.total == 0
+
+    def test_charge_ignores_nonpositive(self):
+        disk = SimulatedDisk()
+        disk.charge(seq_read=0, random_read=-5)
+        assert disk.counters.total == 0
+
+
+class TestBatchedDeposits:
+    def _stores(self, capacity, combine=None):
+        return (
+            SpillingMessageStore(capacity, DEFAULT_SIZES, SimulatedDisk(),
+                                 combine=combine),
+            SpillingMessageStore(capacity, DEFAULT_SIZES, SimulatedDisk(),
+                                 combine=combine),
+        )
+
+    def _assert_same(self, one, many):
+        assert one._disk.counters == many._disk.counters
+        assert one.total_spilled == many.total_spilled
+        assert one.pending_count == many.pending_count
+        assert one.load().messages == many.load().messages
+
+    def test_deposit_many_matches_per_message(self):
+        pairs = [(i % 7, float(i)) for i in range(40)]
+        one, many = self._stores(capacity=15)
+        for dst, value in pairs:
+            one.deposit(dst, value)
+        many.deposit_many(list(pairs))
+        self._assert_same(one, many)
+
+    def test_deposit_many_with_combiner(self):
+        pairs = [(i % 5, float(i)) for i in range(30)]
+        one, many = self._stores(capacity=8, combine=lambda a, b: a + b)
+        for dst, value in pairs:
+            one.deposit(dst, value)
+        many.deposit_many(list(pairs))
+        self._assert_same(one, many)
+
+    def test_deposit_fanout_matches_per_message(self):
+        groups = [((0, 3, 6), 1.5), ((1, 4), 2.5), ((2,), 3.5),
+                  ((0, 1, 2, 3, 4), 4.5)]
+        count = sum(len(dsts) for dsts, _v in groups)
+        one, fan = self._stores(capacity=6)  # boundary straddles a group
+        for dsts, value in groups:
+            for dst in dsts:
+                one.deposit(dst, value)
+        fan.deposit_fanout(list(groups), count)
+        self._assert_same(one, fan)
+
+    def test_deposit_fanout_unlimited_capacity(self):
+        groups = [((0, 1), 1.0), ((2,), 2.0)]
+        one, fan = self._stores(capacity=None)
+        for dsts, value in groups:
+            for dst in dsts:
+                one.deposit(dst, value)
+        fan.deposit_fanout(list(groups), 3)
+        self._assert_same(one, fan)

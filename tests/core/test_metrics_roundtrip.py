@@ -1,0 +1,82 @@
+"""Round-trip guard for :meth:`JobMetrics.to_dict` / ``to_json``.
+
+Before the fix, ``to_dict()`` silently dropped several per-superstep
+counters (``io_edges_push``, ``io_edges_bpull``, ``io_fragments``,
+``io_vrr``, ``mco``, ``pull_requests``, ``net_transfer_units``,
+``cpu_seconds``, ``blocking_seconds``), so any analysis pipeline fed
+from the serialized form lost them.
+"""
+
+import json
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import random_graph
+
+PER_SUPERSTEP_FIELDS = [
+    "io_vertex",
+    "io_edges_push",
+    "io_edges_bpull",
+    "io_fragments",
+    "io_vrr",
+    "io_message_spill",
+    "io_message_read",
+    "net_transfer_units",
+    "mco",
+    "pull_requests",
+    "net_packages",
+    "lru_misses",
+    "edges_scanned",
+    "cpu_seconds",
+    "blocking_seconds",
+    "worker_seconds",
+]
+
+
+class TestMetricsRoundTrip:
+    def _run(self, mode="hybrid", **kwargs):
+        g = random_graph(120, 5, seed=3)
+        cfg = JobConfig(mode=mode, num_workers=3,
+                        message_buffer_per_worker=30, **kwargs)
+        return run_job(g, PageRank(supersteps=5), cfg)
+
+    def test_json_round_trip_is_exact(self):
+        metrics = self._run().metrics
+        assert json.loads(metrics.to_json()) == metrics.to_dict()
+
+    def test_per_superstep_counters_survive_serialization(self):
+        d = self._run().metrics.to_dict()
+        assert d["supersteps"], "expected at least one superstep record"
+        for record in d["supersteps"]:
+            for field in PER_SUPERSTEP_FIELDS:
+                assert field in record, f"to_dict() dropped {field!r}"
+
+    def test_mode_specific_counters_are_nonzero_where_expected(self):
+        push = self._run(mode="push").metrics.to_dict()
+        bpull = self._run(mode="bpull").metrics.to_dict()
+        assert sum(s["io_edges_push"] for s in push["supersteps"]) > 0
+        assert sum(s["io_edges_bpull"] for s in bpull["supersteps"]) > 0
+        assert sum(s["io_fragments"] for s in bpull["supersteps"]) > 0
+        assert sum(s["pull_requests"] for s in bpull["supersteps"]) > 0
+
+    def test_traffic_timeline_serialized(self):
+        metrics = self._run().metrics
+        d = metrics.to_dict()
+        assert d["traffic_timeline"] == [
+            list(t) for t in metrics.traffic_timeline
+        ]
+        assert json.loads(metrics.to_json())["traffic_timeline"] == \
+            d["traffic_timeline"]
+
+    def test_checkpoints_serialized_with_fault(self):
+        g = random_graph(80, 5, seed=13)
+        cfg = JobConfig(mode="push", num_workers=3,
+                        message_buffer_per_worker=20,
+                        checkpoint_interval=2,
+                        fault=FaultPlan(worker=0, superstep=4))
+        metrics = run_job(g, SSSP(source=0), cfg).metrics
+        d = metrics.to_dict()
+        assert d["checkpoints"], "expected a checkpoint record"
+        assert json.loads(metrics.to_json()) == d
