@@ -34,6 +34,13 @@ from repro.core.engine import JobResult, run_job
 from repro.core.graph import Graph, hash_partition, range_partition
 from repro.core.metrics import JobMetrics, SuperstepMetrics
 from repro.core.switching import b_lower_bound, initial_mode, q_metric
+from repro.obs import (
+    NULL_TRACER,
+    TraceConfig,
+    TraceEvent,
+    Tracer,
+    summarize,
+)
 from repro.algorithms.lpa import LPA
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.phased_bfs import PhasedBFS
@@ -70,6 +77,7 @@ __all__ = [
     "LOCAL_CLUSTER",
     "LPA",
     "MODES",
+    "NULL_TRACER",
     "PageRank",
     "PhasedBFS",
     "ProgramContext",
@@ -78,6 +86,9 @@ __all__ = [
     "SSD_PROFILE",
     "SSSP",
     "SuperstepMetrics",
+    "TraceConfig",
+    "TraceEvent",
+    "Tracer",
     "UpdateResult",
     "VertexProgram",
     "WCC",
@@ -93,6 +104,7 @@ __all__ = [
     "ring_graph",
     "run_job",
     "social_graph",
+    "summarize",
     "web_graph",
     "write_edge_list",
 ]

@@ -6,6 +6,8 @@ Examples::
     python -m repro --edge-list my.txt --algorithm sssp --source 3 \\
         --mode bpull --workers 8 --buffer 1000
     python -m repro --dataset twi --algorithm sssp --mode hybrid --trace
+    python -m repro --dataset wiki --mode hybrid \\
+        --trace-out trace.json --trace-format chrome
 """
 
 from __future__ import annotations
@@ -61,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sufficient-memory scenario (no disk charges)")
     parser.add_argument("--trace", action="store_true",
                         help="print the per-superstep trace")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="record structured trace events to PATH "
+                             "(see --trace-format)")
+    parser.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                        default="jsonl",
+                        help="--trace-out format: one JSON event per "
+                             "line, or a Chrome-trace/Perfetto document")
     parser.add_argument("--stats", action="store_true",
                         help="print graph statistics and exit (no job)")
     return parser
@@ -102,6 +111,11 @@ def main(argv: Optional[list] = None) -> int:
         print(compute_stats(graph).summary())
         return 0
 
+    trace = None
+    if args.trace_out:
+        from repro.obs import TraceConfig
+
+        trace = TraceConfig(out=args.trace_out, format=args.trace_format)
     config = JobConfig(
         mode=args.mode,
         num_workers=workers,
@@ -110,6 +124,7 @@ def main(argv: Optional[list] = None) -> int:
         vblocks_per_worker=vblocks,
         cluster=AMAZON_CLUSTER if args.cluster == "amazon" else LOCAL_CLUSTER,
         max_supersteps=args.supersteps,
+        trace=trace,
     )
     program = _make_program(args)
     result = run_job(graph, program, config)
@@ -138,6 +153,8 @@ def main(argv: Optional[list] = None) -> int:
             ["t", "mode", "updated", "messages", "disk", "elapsed"],
             rows,
         )
+    if args.trace_out:
+        print(f"trace      : {args.trace_out} ({args.trace_format})")
     return 0
 
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.flags import FlagBitset
 from repro.core.runtime import Runtime
+from repro.obs.events import CAT_ENGINE
 from repro.storage.records import RecordSizes
 
 __all__ = ["Checkpoint", "take_checkpoint", "restore_checkpoint"]
@@ -70,7 +71,7 @@ def take_checkpoint(
         for w in rt.workers
         if w.message_store is not None
     }
-    return Checkpoint(
+    checkpoint = Checkpoint(
         superstep=superstep,
         prev_mode=prev_mode,
         values=list(rt.values),
@@ -79,6 +80,16 @@ def take_checkpoint(
         controller_state=copy.deepcopy(controller),
         nbytes=_snapshot_bytes(rt, rt.config.sizes),
     )
+    tracer = rt.tracer
+    if tracer.enabled:
+        tracer.span(
+            "checkpoint", cat=CAT_ENGINE, start=tracer.clock,
+            dur=checkpoint.write_seconds(
+                rt.config.cluster.disk.seq_write_mbps
+            ),
+            superstep=superstep, args={"nbytes": checkpoint.nbytes},
+        )
+    return checkpoint
 
 
 def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
@@ -87,6 +98,12 @@ def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
     The snapshot's own containers are deep-copied on the way back in so
     the same checkpoint can serve repeated failures.
     """
+    tracer = rt.tracer
+    if tracer.enabled:
+        tracer.instant(
+            "restore", cat=CAT_ENGINE, superstep=checkpoint.superstep,
+            args={"nbytes": checkpoint.nbytes},
+        )
     rt.values = list(checkpoint.values)
     rt.resp_prev = FlagBitset.from_iterable(checkpoint.resp_prev)
     rt.resp_next = FlagBitset(rt.graph.num_vertices)

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.obs.events import CAT_NET
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import DiskProfile
 
 __all__ = [
@@ -76,6 +78,9 @@ class SimulatedNetwork:
         #: cluster-wide (superstep, bytes) samples for the traffic timeline.
         self.timeline: List[Tuple[int, int]] = []
         self._superstep = 0
+        #: observability: the runtime replaces this with the job tracer;
+        #: the shared null tracer keeps standalone networks guard-free.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def begin_superstep(self, superstep: int) -> None:
@@ -146,4 +151,20 @@ class SimulatedNetwork:
                 out_seconds[worker], in_seconds[worker]
             )
         self.timeline.append((self._superstep, stats.total_bytes))
+        tracer = self.tracer
+        if tracer.enabled:
+            for worker in range(self._num_workers):
+                out_bytes = stats.bytes_out.get(worker, 0)
+                in_bytes = stats.bytes_in.get(worker, 0)
+                if not (out_bytes or in_bytes):
+                    continue
+                tracer.instant(
+                    "net", cat=CAT_NET, superstep=self._superstep,
+                    worker=worker,
+                    args={
+                        "bytes_out": out_bytes,
+                        "bytes_in": in_bytes,
+                        "seconds": stats.worker_seconds[worker],
+                    },
+                )
         return stats

@@ -8,7 +8,7 @@ set of configs over a set of graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.storage.disk import DiskProfile, HDD_PROFILE, SSD_PROFILE
 from repro.storage.records import DEFAULT_SIZES, RecordSizes
@@ -160,6 +160,14 @@ class JobConfig:
     #: lightweight fault tolerance the paper leaves as future work
     #: (Appendix A).  None keeps the paper's recompute-from-scratch.
     checkpoint_interval: Optional[int] = None
+    #: observability (``repro.obs``): ``None``/``False`` — tracing off
+    #: (the job shares the zero-overhead null tracer); ``True`` — record
+    #: to an in-memory ring buffer, readable via ``JobResult.trace``; a
+    #: path string — additionally stream JSONL events to that file; a
+    #: :class:`repro.obs.TraceConfig` or a ready
+    #: :class:`repro.obs.Tracer` — full control over sinks.  Tracing
+    #: never perturbs the model: metrics are byte-identical either way.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:

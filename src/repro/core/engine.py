@@ -38,6 +38,7 @@ from repro.core.runtime import Runtime
 from repro.core.switching import FixedController, HybridController
 from repro.cluster.checkpoint import restore_checkpoint, take_checkpoint
 from repro.cluster.fault import FaultInjector, WorkerFailure
+from repro.obs.events import CAT_ENGINE
 
 __all__ = ["JobResult", "run_job"]
 
@@ -52,6 +53,11 @@ class JobResult:
     metrics: JobMetrics
     #: the runtime, exposed for tests and ablations that poke internals.
     runtime: Runtime
+    #: the job's :class:`repro.obs.Tracer` when tracing was enabled via
+    #: ``JobConfig(trace=...)``, else None.  File sinks are already
+    #: flushed; the in-memory events remain readable (``.events``,
+    #: ``.summary()``, ``.export_chrome(path)``).
+    trace: Optional[Any] = None
 
     def value_of(self, vid: int) -> Any:
         return self.values[vid]
@@ -70,6 +76,21 @@ def run_job(
     rt = Runtime(graph, program, config)
     rt.setup()
     injector = FaultInjector(config.fault)
+    tracer = rt.tracer
+    # run_job owns (and closes) tracers it built from a spec; a ready
+    # Tracer instance passed in stays under the caller's control.
+    owns_tracer = tracer is not config.trace
+    if tracer.enabled:
+        tracer.span(
+            "load_graph", cat=CAT_ENGINE, start=tracer.clock,
+            dur=rt.load_metrics.elapsed_seconds,
+            args={
+                "structures": rt.load_metrics.structures,
+                "io_bytes": rt.load_metrics.io.total,
+                "cpu_seconds": rt.load_metrics.cpu_seconds,
+            },
+        )
+        tracer.advance(rt.load_metrics.elapsed_seconds)
 
     metrics = JobMetrics(
         mode=config.mode,
@@ -98,26 +119,41 @@ def run_job(
             _iterate(rt, controller, metrics, injector, start_superstep,
                      prev_mode, latest_checkpoint)
             break
-        except WorkerFailure:
+        except WorkerFailure as failure:
             restarts += 1
             if restarts > _MAX_RESTARTS:
                 raise
+            if tracer.enabled:
+                tracer.instant(
+                    "fault", cat=CAT_ENGINE, superstep=failure.superstep,
+                    worker=failure.worker, args={"restarts": restarts},
+                )
             checkpoint = latest_checkpoint[0]
             if checkpoint is not None:
                 # lightweight recovery: resume after the snapshot
                 controller = restore_checkpoint(rt, checkpoint)
-                del metrics.supersteps[checkpoint.superstep:]
-                del metrics.mode_trace[checkpoint.superstep:]
+                _rewind_metrics(metrics, checkpoint.superstep)
                 start_superstep = checkpoint.superstep
                 prev_mode = checkpoint.prev_mode
                 metrics.recovered_from = checkpoint.superstep
+                if tracer.enabled:
+                    tracer.instant(
+                        "restart", cat=CAT_ENGINE,
+                        superstep=checkpoint.superstep,
+                        args={"policy": "checkpoint",
+                              "resume_after": checkpoint.superstep},
+                    )
             else:
                 # the paper's policy: recompute from scratch
                 rt.reset_for_restart()
-                metrics.supersteps.clear()
-                metrics.mode_trace.clear()
+                _reset_metrics(metrics)
                 start_superstep = 0
                 prev_mode = None
+                if tracer.enabled:
+                    tracer.instant(
+                        "restart", cat=CAT_ENGINE,
+                        args={"policy": "scratch"},
+                    )
                 if config.mode == "hybrid":
                     controller = HybridController(
                         rt,
@@ -129,7 +165,33 @@ def run_job(
     if isinstance(controller, HybridController):
         metrics.q_trace = [q for _t, q in controller.q_trace]
     _build_traffic_timeline(rt, metrics)
-    return JobResult(values=rt.values, metrics=metrics, runtime=rt)
+    if owns_tracer:
+        tracer.close()
+    return JobResult(
+        values=rt.values, metrics=metrics, runtime=rt,
+        trace=tracer if tracer.enabled else None,
+    )
+
+
+def _rewind_metrics(metrics: JobMetrics, superstep: int) -> None:
+    """Drop per-superstep records past a restored checkpoint.
+
+    The re-executed supersteps append fresh entries; anything recorded
+    after the snapshot — including checkpoints themselves — is stale
+    and would double up (or misreport snapshots that no longer exist).
+    """
+    del metrics.supersteps[superstep:]
+    del metrics.mode_trace[superstep:]
+    metrics.checkpoints = [
+        entry for entry in metrics.checkpoints if entry[0] <= superstep
+    ]
+
+
+def _reset_metrics(metrics: JobMetrics) -> None:
+    """Recompute-from-scratch recovery: drop every per-superstep record."""
+    metrics.supersteps.clear()
+    metrics.mode_trace.clear()
+    metrics.checkpoints.clear()
 
 
 def _iterate(
@@ -149,6 +211,7 @@ def _iterate(
     the newest one even though the loop exits via an exception.
     """
     config = rt.config
+    tracer = rt.tracer
     superstep_fn = (
         run_superstep_reference
         if config.executor == "reference"
@@ -167,6 +230,11 @@ def _iterate(
             label = mode
             if prev_mode is not None and prev_mode != mode:
                 label = f"{prev_mode}->{mode}"
+                if tracer.enabled:
+                    tracer.instant(
+                        "mode_switch", cat=CAT_ENGINE, superstep=superstep,
+                        args={"from": prev_mode, "to": mode},
+                    )
             step = superstep_fn(rt, superstep, in_mech, out_mech, label)
         mode_label = step.mode
         if config.mode == "pushm":
@@ -174,6 +242,9 @@ def _iterate(
         metrics.supersteps.append(step)
         metrics.mode_trace.append(mode_label)
         metrics.executed_supersteps += 1
+        # the executor emitted this superstep's spans at the old clock;
+        # move the modeled clock past the barrier (no-op when disabled).
+        tracer.advance(step.elapsed_seconds)
         # publish this superstep's aggregator totals for the next one
         rt.ctx.aggregates = dict(step.aggregates)
         controller.observe(rt, step)
@@ -200,13 +271,13 @@ def _iterate(
         ):
             checkpoint = take_checkpoint(rt, superstep, mode, controller)
             latest_checkpoint[0] = checkpoint
-            metrics.checkpoints.append((
-                superstep,
-                checkpoint.nbytes,
-                checkpoint.write_seconds(
-                    config.cluster.disk.seq_write_mbps
-                ),
-            ))
+            write_seconds = checkpoint.write_seconds(
+                config.cluster.disk.seq_write_mbps
+            )
+            metrics.checkpoints.append(
+                (superstep, checkpoint.nbytes, write_seconds)
+            )
+            tracer.advance(write_seconds)
 
 
 def _build_traffic_timeline(rt: Runtime, metrics: JobMetrics) -> None:

@@ -27,6 +27,8 @@ from typing import Any, Dict, List, Set, Tuple
 
 from repro.core.metrics import SuperstepMetrics
 from repro.core.runtime import Runtime
+from repro.obs.instrument import derive_pull_phases, emit_superstep_events
+from repro.storage.disk import IOCounters
 
 __all__ = ["run_pull_superstep"]
 
@@ -165,16 +167,15 @@ def run_pull_superstep(rt: Runtime, superstep: int) -> SuperstepMetrics:
     metrics.blocking_seconds = max(net.worker_seconds.values(), default=0.0)
 
     cpu_model = cfg.cluster.cpu
+    tracer = rt.tracer
+    disk_deltas: Dict[int, IOCounters] = {}
     elapsed = 0.0
     for worker in rt.workers:
         wid = worker.worker_id
-        delta = worker.disk.snapshot()
-        before = disk_before[wid]
-        delta.random_read -= before.random_read
-        delta.random_write -= before.random_write
-        delta.seq_read -= before.seq_read
-        delta.seq_write -= before.seq_write
+        delta = worker.disk.delta_since(disk_before[wid])
         metrics.io.add(delta)
+        if tracer.enabled:
+            disk_deltas[wid] = delta
         misses = (
             worker.vertex_cache.misses if worker.vertex_cache else 0
         )
@@ -195,6 +196,10 @@ def run_pull_superstep(rt: Runtime, superstep: int) -> SuperstepMetrics:
         elapsed = max(elapsed, total)
         metrics.memory_bytes += worker.memory_bytes()
     metrics.elapsed_seconds = elapsed
+    if tracer.enabled:
+        emit_superstep_events(
+            rt, metrics, derive_pull_phases(cfg, metrics), disk_deltas
+        )
     return metrics
 
 

@@ -26,6 +26,8 @@ from typing import Any, Dict, List, Tuple
 
 from repro.core.metrics import SuperstepMetrics
 from repro.core.runtime import Runtime
+from repro.obs.instrument import derive_phases, emit_superstep_events
+from repro.storage.disk import IOCounters
 
 __all__ = ["run_superstep_reference"]
 
@@ -187,16 +189,15 @@ def run_superstep_reference(
     )
 
     cpu_model = cfg.cluster.cpu
+    tracer = rt.tracer
+    disk_deltas: Dict[int, IOCounters] = {}
     elapsed = 0.0
     for worker in rt.workers:
         wid = worker.worker_id
-        delta = worker.disk.snapshot()
-        before = disk_before[wid]
-        delta.random_read -= before.random_read
-        delta.random_write -= before.random_write
-        delta.seq_read -= before.seq_read
-        delta.seq_write -= before.seq_write
+        delta = worker.disk.delta_since(disk_before[wid])
         metrics.io.add(delta)
+        if tracer.enabled:
+            disk_deltas[wid] = delta
         spilled_now = (
             worker.message_store.total_spilled if worker.message_store else 0
         )
@@ -217,6 +218,12 @@ def run_superstep_reference(
         elapsed = max(elapsed, total)
         metrics.memory_bytes += worker.memory_bytes() + pull_memory_of[wid]
     metrics.elapsed_seconds = elapsed
+    if tracer.enabled:
+        emit_superstep_events(
+            rt, metrics,
+            derive_phases(cfg, metrics, in_mech, out_mech),
+            disk_deltas,
+        )
     return metrics
 
 

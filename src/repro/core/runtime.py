@@ -21,6 +21,7 @@ from repro.core.flags import FlagBitset
 from repro.core.graph import Graph, Partition, hash_partition, range_partition
 from repro.core.metrics import LoadMetrics
 from repro.cluster.network import SimulatedNetwork
+from repro.obs.tracer import resolve_tracer
 from repro.storage.adjacency import AdjacencyStore
 from repro.storage.disk import SimulatedDisk
 from repro.storage.messages import OnlineMessageStore, SpillingMessageStore
@@ -116,12 +117,18 @@ class Runtime:
             out_degree=graph.out_degree,
             max_supersteps=self.max_supersteps,
         )
+        #: observability handle (``repro.obs``); the shared no-op null
+        #: tracer unless ``config.trace`` asks for one, so every
+        #: instrumentation site can guard on ``tracer.enabled`` without
+        #: a None check.
+        self.tracer = resolve_tracer(config.trace)
         self.network = SimulatedNetwork(
             num_workers=config.num_workers,
             profile=config.cluster.disk,
             sending_threshold_bytes=config.sending_threshold_bytes,
             request_bytes=config.sizes.pull_request,
         )
+        self.network.tracer = self.tracer
         self.workers: List[Worker] = []
         self.layout: Optional[BlockLayout] = None
         self.reverse: Optional[List[List]] = None

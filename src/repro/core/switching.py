@@ -35,6 +35,7 @@ from typing import Dict, Optional
 
 from repro.core.metrics import SuperstepMetrics
 from repro.core.runtime import Runtime
+from repro.obs.events import CAT_SWITCH
 from repro.storage.disk import DiskProfile
 
 __all__ = [
@@ -166,19 +167,41 @@ class HybridController:
         q = q_metric(inputs, rt.config.cluster.disk)
         self.q_trace.append((metrics.superstep, q))
         self.prediction_log.append((metrics.superstep, inputs))
-        if not self._enabled:
-            return
         target = metrics.superstep + self._interval
-        if target in self._plan:
-            return
-        if (
-            self._deadband > 0.0
-            and abs(q) < self._deadband * metrics.elapsed_seconds
-        ):
-            # predicted gain too small to repay a switch: stay put.
-            self._plan[target] = metrics.mode.split("->")[-1]
-            return
-        self._plan[target] = "bpull" if q >= 0 else "push"
+        planned: Optional[str] = None
+        rule = None
+        if self._enabled and target not in self._plan:
+            if (
+                self._deadband > 0.0
+                and abs(q) < self._deadband * metrics.elapsed_seconds
+            ):
+                # predicted gain too small to repay a switch: stay put.
+                planned = metrics.mode.split("->")[-1]
+                rule = "deadband"
+            else:
+                planned = "bpull" if q >= 0 else "push"
+                rule = "sign"
+            self._plan[target] = planned
+        tracer = rt.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "switch_decision", cat=CAT_SWITCH,
+                superstep=metrics.superstep,
+                args={
+                    "q": q,
+                    "mco": inputs.mco,
+                    "bytem": inputs.bytem,
+                    "io_mdisk": inputs.io_mdisk,
+                    "io_edges_push": inputs.io_edges_push,
+                    "io_edges_bpull": inputs.io_edges_bpull,
+                    "io_fragments": inputs.io_fragments,
+                    "io_vrr": inputs.io_vrr,
+                    "mode": metrics.mode,
+                    "planned_mode": planned,
+                    "target_superstep": target if planned else None,
+                    "rule": rule,
+                },
+            )
 
     # ------------------------------------------------------------------
     def _q_inputs(self, rt: Runtime, metrics: SuperstepMetrics) -> QInputs:

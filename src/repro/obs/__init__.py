@@ -1,0 +1,65 @@
+"""Structured tracing for the simulator (``repro.obs``).
+
+Spans and instants on the *modeled* clock, fanned out to pluggable
+sinks (ring buffer, JSONL, Chrome-trace).  Enable per job with
+``JobConfig(trace=True)`` (or a :class:`TraceConfig` / output path) and
+read the result from ``JobResult.trace``; disabled jobs share the
+no-op :data:`NULL_TRACER` and pay only an attribute lookup per
+instrumentation site.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_json,
+    export_chrome_trace,
+    to_chrome_events,
+)
+from repro.obs.events import (
+    CAT_DISK,
+    CAT_ENGINE,
+    CAT_NET,
+    CAT_PHASE,
+    CAT_SWITCH,
+    CAT_WORKER,
+    INSTANT,
+    PHASE_NAMES,
+    SPAN,
+    TraceEvent,
+)
+from repro.obs.instrument import (
+    derive_phases,
+    derive_pull_phases,
+    emit_superstep_events,
+)
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink, Sink
+from repro.obs.summary import SuperstepSummary, TraceSummary, summarize
+from repro.obs.tracer import NULL_TRACER, TraceConfig, Tracer, resolve_tracer
+
+__all__ = [
+    "TraceEvent",
+    "SPAN",
+    "INSTANT",
+    "CAT_ENGINE",
+    "CAT_PHASE",
+    "CAT_WORKER",
+    "CAT_DISK",
+    "CAT_NET",
+    "CAT_SWITCH",
+    "PHASE_NAMES",
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "Tracer",
+    "NULL_TRACER",
+    "TraceConfig",
+    "resolve_tracer",
+    "to_chrome_events",
+    "chrome_trace_json",
+    "export_chrome_trace",
+    "derive_phases",
+    "derive_pull_phases",
+    "emit_superstep_events",
+    "SuperstepSummary",
+    "TraceSummary",
+    "summarize",
+]

@@ -1,0 +1,236 @@
+"""Derive per-phase spans from :class:`SuperstepMetrics` + the cost model.
+
+The executors charge I/O and CPU as they go but only keep cluster-wide
+sums per superstep; phase attribution is *re-derived* here from those
+sums and the same cost model that produced them.  That has two virtues:
+
+* the hot path stays untouched — no mid-loop clock snapshots, so a
+  traced run produces byte-identical :class:`JobMetrics`;
+* batched and reference executors emit *identical* events (not merely
+  identical structure), because both feed identical metrics through the
+  same derivation — which is exactly what the equivalence suite pins.
+
+Attribution rules (Section 5.2's decoupling — input mechanism, update,
+output mechanism):
+
+``load``
+    spilled-message read-back (``io_message_read`` at sequential-read
+    speed) plus the sort-merge CPU of those messages.  Present when the
+    input mechanism is the stored message store.
+``pullRes``
+    Pull-Request/Pull-Respond gather: fragment + Eblock sequential
+    reads, ``IO(V_rr)`` random reads, edge-scan CPU, plus message CPU
+    and blocking when the *output* side is not pushing (b-pull generates
+    messages inside the gather).  Present when the input mechanism is
+    pull and the superstep had a previous superstep to pull from.
+``update``
+    ``updated_vertices`` CPU plus ``IO(V_t)`` (half sequential read,
+    half sequential write — the update sweep reads and rewrites the
+    vertex file).
+``pushRes``
+    message-generation CPU, adjacency-edge sequential reads, spill
+    random writes, and barrier-blocking transfer time.  Present when
+    the output mechanism is push.
+
+Phase durations are *modeled cluster sums* while the superstep span is
+the barrier-to-barrier maximum over workers, so the children are scaled
+proportionally to tile the parent exactly; the unscaled value is kept
+in each span's ``args["modeled_seconds"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    CAT_DISK,
+    CAT_ENGINE,
+    CAT_PHASE,
+    CAT_WORKER,
+)
+from repro.storage.disk import IOCounters
+
+__all__ = ["derive_phases", "derive_pull_phases", "emit_superstep_events"]
+
+#: (name, modeled seconds, args) triples, in execution order.
+PhaseList = List[Tuple[str, float, Dict[str, Any]]]
+
+
+def derive_phases(cfg, metrics, in_mech: str, out_mech: str) -> PhaseList:
+    """Phase breakdown for the push/b-pull family executors.
+
+    *in_mech* is ``"stored"`` or ``"pull"``; *out_mech* is ``"push"`` or
+    ``"flag"`` — the same mechanism pair the engine hands the executor.
+    """
+    disk = cfg.cluster.disk
+    cpu = cfg.cluster.cpu
+    sizes = cfg.sizes
+    phases: PhaseList = []
+
+    push_edges = metrics.io_edges_push // sizes.edge if sizes.edge else 0
+    gather_edges = max(metrics.edges_scanned - push_edges, 0)
+    pushing = out_mech == "push"
+
+    if in_mech == "stored":
+        spilled = (
+            metrics.io_message_read // sizes.message if sizes.message else 0
+        )
+        dur = disk.io_seconds(
+            IOCounters(seq_read=metrics.io_message_read)
+        ) + cpu.seconds(spilled=spilled)
+        phases.append((
+            "load", dur,
+            {"io_message_read": metrics.io_message_read,
+             "spilled_messages": spilled},
+        ))
+
+    if in_mech == "pull" and metrics.superstep > 1:
+        dur = disk.io_seconds(IOCounters(
+            seq_read=metrics.io_fragments + metrics.io_edges_bpull,
+            random_read=metrics.io_vrr,
+        )) + cpu.seconds(edges=gather_edges)
+        args: Dict[str, Any] = {
+            "io_edges_bpull": metrics.io_edges_bpull,
+            "io_fragments": metrics.io_fragments,
+            "io_vrr": metrics.io_vrr,
+            "edges_scanned": gather_edges,
+            "responding_vertices": metrics.responding_vertices,
+            "pull_requests": metrics.pull_requests,
+        }
+        if not pushing:
+            # b-pull generates (and ships) the messages inside the
+            # gather, so the message CPU and barrier transfer time
+            # belong to this phase.
+            dur += cpu.seconds(messages=metrics.raw_messages)
+            dur += metrics.blocking_seconds
+            args["raw_messages"] = metrics.raw_messages
+            args["blocking_seconds"] = metrics.blocking_seconds
+        phases.append(("pullRes", dur, args))
+
+    vertex_read = metrics.io_vertex // 2
+    update_dur = cpu.seconds(updates=metrics.updated_vertices) + (
+        disk.io_seconds(IOCounters(
+            seq_read=vertex_read,
+            seq_write=metrics.io_vertex - vertex_read,
+        ))
+    )
+    phases.append((
+        "update", update_dur,
+        {"updated_vertices": metrics.updated_vertices,
+         "io_vertex": metrics.io_vertex},
+    ))
+
+    if pushing:
+        dur = (
+            cpu.seconds(messages=metrics.raw_messages, edges=push_edges)
+            + disk.io_seconds(IOCounters(
+                seq_read=metrics.io_edges_push,
+                random_write=metrics.io_message_spill,
+            ))
+            + metrics.blocking_seconds
+        )
+        phases.append((
+            "pushRes", dur,
+            {"raw_messages": metrics.raw_messages,
+             "io_edges_push": metrics.io_edges_push,
+             "io_message_spill": metrics.io_message_spill,
+             "spilled_messages": metrics.spilled_messages,
+             "net_bytes": metrics.net_bytes,
+             "blocking_seconds": metrics.blocking_seconds},
+        ))
+
+    return phases
+
+
+def derive_pull_phases(cfg, metrics) -> PhaseList:
+    """Phase breakdown for the GAS pull baseline (gather, then apply)."""
+    disk = cfg.cluster.disk
+    cpu = cfg.cluster.cpu
+    gather = (
+        disk.io_seconds(metrics.io)
+        + cpu.seconds(
+            messages=metrics.raw_messages,
+            edges=metrics.edges_scanned,
+            lru_misses=metrics.lru_misses,
+        )
+        + metrics.blocking_seconds
+    )
+    apply_dur = cpu.seconds(updates=metrics.updated_vertices)
+    return [
+        ("pullRes", gather,
+         {"edges_scanned": metrics.edges_scanned,
+          "lru_misses": metrics.lru_misses,
+          "raw_messages": metrics.raw_messages,
+          "blocking_seconds": metrics.blocking_seconds}),
+        ("update", apply_dur,
+         {"updated_vertices": metrics.updated_vertices}),
+    ]
+
+
+def emit_superstep_events(
+    rt,
+    metrics,
+    phases: PhaseList,
+    disk_deltas: Optional[Dict[int, IOCounters]] = None,
+) -> None:
+    """Emit the span tree for one executed superstep.
+
+    Called by every executor after assembling *metrics*, with the tracer
+    clock still at the superstep's start (the engine advances it
+    afterwards).  Emits, in order: the ``superstep`` span, its scaled
+    phase children, then per worker a ``worker`` span, a ``barrier``
+    span (zero-length for the slowest worker) and a ``disk`` instant
+    carrying that worker's I/O deltas for the superstep.
+    """
+    tracer = rt.tracer
+    start = tracer.clock
+    step = metrics.superstep
+    elapsed = metrics.elapsed_seconds
+
+    tracer.span(
+        "superstep", cat=CAT_ENGINE, start=start, dur=elapsed,
+        superstep=step,
+        args={
+            "mode": metrics.mode,
+            "updated_vertices": metrics.updated_vertices,
+            "raw_messages": metrics.raw_messages,
+            "net_bytes": metrics.net_bytes,
+            "cpu_seconds": metrics.cpu_seconds,
+        },
+    )
+
+    total = sum(dur for _, dur, _a in phases)
+    scale = elapsed / total if total > elapsed > 0.0 else 1.0
+    cursor = start
+    for name, dur, args in phases:
+        scaled = dur * scale
+        tracer.span(
+            name, cat=CAT_PHASE, start=cursor, dur=scaled,
+            superstep=step, args={**args, "modeled_seconds": dur},
+        )
+        cursor += scaled
+
+    for wid in sorted(metrics.worker_seconds):
+        seconds = metrics.worker_seconds[wid]
+        tracer.span(
+            "worker", cat=CAT_WORKER, start=start, dur=seconds,
+            superstep=step, worker=wid, args={"seconds": seconds},
+        )
+        tracer.span(
+            "barrier", cat=CAT_WORKER, start=start + seconds,
+            dur=max(elapsed - seconds, 0.0), superstep=step, worker=wid,
+            args={"slowest": seconds >= elapsed},
+        )
+        delta = (disk_deltas or {}).get(wid)
+        if delta is not None:
+            tracer.instant(
+                "disk", cat=CAT_DISK, ts=start, superstep=step,
+                worker=wid,
+                args={
+                    "random_read": delta.random_read,
+                    "random_write": delta.random_write,
+                    "seq_read": delta.seq_read,
+                    "seq_write": delta.seq_write,
+                    "io_seconds": rt.config.cluster.disk.io_seconds(delta),
+                },
+            )

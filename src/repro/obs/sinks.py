@@ -1,0 +1,107 @@
+"""Pluggable event sinks: ring buffer, JSONL file, Chrome-trace file.
+
+A sink is anything with ``emit(event)`` and ``close()``.  The tracer
+fans every event out to all of its sinks; sinks never see the engine,
+only :class:`~repro.obs.events.TraceEvent` objects, so adding a new
+transport (a socket, a metrics service) means implementing these two
+methods.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.events import TraceEvent
+
+__all__ = ["Sink", "RingBufferSink", "JsonlSink", "ChromeTraceSink"]
+
+
+class Sink:
+    """Base class / protocol for event sinks."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class RingBufferSink(Sink):
+    """Keep the last *capacity* events in memory (``None`` = unbounded).
+
+    The default sink: cheap enough to leave on, and the summary /
+    Chrome-export conveniences on the tracer read from it.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink(Sink):
+    """Stream events to a file, one JSON object per line.
+
+    The file is opened lazily on the first event, so constructing a
+    tracer config never touches the filesystem.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self.count = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ChromeTraceSink(Sink):
+    """Buffer events and write a Chrome-trace JSON file on ``close()``.
+
+    The output opens directly in ``chrome://tracing`` or Perfetto
+    (https://ui.perfetto.dev); see :mod:`repro.obs.chrome` for the
+    mapping.  Buffering is unavoidable: the Chrome JSON format needs the
+    worker set up front for the track-name metadata.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._events: List[TraceEvent] = []
+        self.count = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.count += 1
+
+    def close(self) -> None:
+        from repro.obs.chrome import export_chrome_trace
+
+        export_chrome_trace(self._events, self.path)

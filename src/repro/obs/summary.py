@@ -1,0 +1,170 @@
+"""Roll a flat event stream up into a per-superstep breakdown.
+
+``summarize(events)`` groups the trace by superstep and produces, for
+each one, the mode, elapsed time, a phase → seconds breakdown, a
+worker → (busy, barrier) breakdown, and the counts of disk/net/switch
+side events.  :meth:`TraceSummary.table` renders the result with the
+same ASCII-table helper the CLI ``--trace`` report uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import (
+    CAT_ENGINE,
+    CAT_PHASE,
+    CAT_WORKER,
+    PHASE_NAMES,
+    TraceEvent,
+)
+
+__all__ = ["SuperstepSummary", "TraceSummary", "summarize"]
+
+
+@dataclass
+class SuperstepSummary:
+    """One superstep's roll-up (durations in modeled seconds)."""
+
+    superstep: int
+    mode: str = ""
+    elapsed_seconds: float = 0.0
+    #: phase name -> scaled span seconds (tiles ``elapsed_seconds``).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: worker id -> (busy seconds, barrier-wait seconds).
+    worker_seconds: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    instants: Dict[str, int] = field(default_factory=dict)
+    switch_decision: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "superstep": self.superstep,
+            "mode": self.mode,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "worker_seconds": {
+                str(w): list(pair) for w, pair in self.worker_seconds.items()
+            },
+            "instants": dict(self.instants),
+            "switch_decision": self.switch_decision,
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace roll-up: loading plus one row per superstep."""
+
+    load_seconds: float = 0.0
+    supersteps: List[SuperstepSummary] = field(default_factory=list)
+    #: engine-level instants not tied to an executed superstep row
+    #: (faults, restarts, restores), as (name, superstep) pairs.
+    incidents: List[Tuple[str, Optional[int]]] = field(default_factory=list)
+
+    def rows(self) -> List[List[Any]]:
+        def fmt(x: float) -> str:
+            return f"{x:.3f}"
+
+        rows: List[List[Any]] = []
+        for s in self.supersteps:
+            busy = sum(b for b, _w in s.worker_seconds.values())
+            wait = sum(w for _b, w in s.worker_seconds.values())
+            rows.append(
+                [s.superstep, s.mode, fmt(s.elapsed_seconds)]
+                + [fmt(s.phase_seconds.get(name, 0.0))
+                   for name in PHASE_NAMES]
+                + [fmt(busy), fmt(wait)]
+            )
+        return rows
+
+    def table(self) -> str:
+        from repro.analysis.reporting import format_table
+
+        headers = (
+            ["step", "mode", "elapsed"]
+            + list(PHASE_NAMES)
+            + ["busy", "barrier"]
+        )
+        title = f"trace summary (load {self.load_seconds:.3f}s)"
+        if self.incidents:
+            names = ", ".join(
+                name if step is None else f"{name}@{step}"
+                for name, step in self.incidents
+            )
+            title += f" — incidents: {names}"
+        return format_table(headers, self.rows(), title=title)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "load_seconds": self.load_seconds,
+            "supersteps": [s.to_dict() for s in self.supersteps],
+            "incidents": [list(pair) for pair in self.incidents],
+        }
+
+
+def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Build a :class:`TraceSummary` from a flat event stream.
+
+    A recovered run re-executes supersteps, so the same superstep number
+    can appear twice; later rows overwrite earlier ones (the summary
+    reflects the attempts that stuck), while the discarded attempts stay
+    visible in the raw trace and in :attr:`TraceSummary.incidents`.
+    """
+    out = TraceSummary()
+    by_step: Dict[int, SuperstepSummary] = {}
+    # net instants are flushed by the network *before* the executor
+    # emits the superstep span, so instants that cannot yet be matched
+    # to the current attempt wait here until the span opens the row.
+    pending: Dict[int, Dict[str, int]] = {}
+    # after a fault every existing row belongs to a discarded attempt:
+    # further instants for it buffer in ``pending`` until re-execution.
+    closed: set = set()
+
+    for event in events:
+        if event.name == "load_graph":
+            out.load_seconds = event.dur
+            continue
+        if event.name in ("fault", "restart", "restore"):
+            out.incidents.append((event.name, event.superstep))
+            closed.update(by_step)
+            continue
+        step = event.superstep
+        if step is None:
+            continue
+        if event.name == "superstep" and event.cat == CAT_ENGINE:
+            # (re-)executed superstep: a fresh row per attempt, seeded
+            # with the instants that arrived ahead of the span.
+            by_step[step] = SuperstepSummary(
+                superstep=step,
+                mode=event.args.get("mode", ""),
+                elapsed_seconds=event.dur,
+                instants=pending.pop(step, {}),
+            )
+            closed.discard(step)
+            continue
+        s = by_step.get(step)
+        open_row = s is not None and s.mode != "" and step not in closed
+        if event.cat == CAT_PHASE and open_row:
+            s.phase_seconds[event.name] = (
+                s.phase_seconds.get(event.name, 0.0) + event.dur
+            )
+        elif event.cat == CAT_WORKER and event.worker is not None and open_row:
+            busy, wait = s.worker_seconds.get(event.worker, (0.0, 0.0))
+            if event.name == "worker":
+                busy = event.dur
+            elif event.name == "barrier":
+                wait = event.dur
+            s.worker_seconds[event.worker] = (busy, wait)
+        elif event.name == "switch_decision" and open_row:
+            s.switch_decision = dict(event.args)
+        elif event.kind == "instant":
+            if open_row:
+                s.instants[event.name] = s.instants.get(event.name, 0) + 1
+            else:
+                bucket = pending.setdefault(step, {})
+                bucket[event.name] = bucket.get(event.name, 0) + 1
+
+    out.supersteps = [by_step[k] for k in sorted(by_step)]
+    return out

@@ -1,0 +1,216 @@
+"""The tracer: typed event emission against the modeled clock.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — the real thing: stamps events with the modeled
+  clock and fans them out to its sinks;
+* :data:`NULL_TRACER` — a module-level singleton whose ``enabled`` is
+  ``False`` and whose methods are no-ops.  Hot paths hold the tracer in
+  a local and guard event construction with ``if tracer.enabled:``, so
+  a job without tracing pays one attribute lookup per guard and never
+  builds an event object.
+
+Observation must not perturb the model: tracer methods only *read*
+engine state, and every instrumentation site in the engine is reached
+only through the ``enabled`` guard, so ``JobMetrics`` of a traced run is
+byte-identical to an untraced one (asserted by
+``tests/obs/test_nonperturbation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.events import INSTANT, SPAN, TraceEvent
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink, Sink
+
+__all__ = ["Tracer", "NULL_TRACER", "TraceConfig", "resolve_tracer"]
+
+
+class Tracer:
+    """Emit spans and instants on the modeled clock, fan out to sinks.
+
+    ``clock`` is the cumulative modeled time (seconds); the engine
+    advances it at superstep and checkpoint boundaries, so events
+    emitted mid-superstep are stamped with the superstep's start time.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Sequence[Sink]] = None) -> None:
+        if sinks is None:
+            sinks = [RingBufferSink()]
+        self.sinks: List[Sink] = list(sinks)
+        self._ring: Optional[RingBufferSink] = next(
+            (s for s in self.sinks if isinstance(s, RingBufferSink)), None
+        )
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def span(
+        self,
+        name: str,
+        *,
+        cat: str,
+        start: float,
+        dur: float,
+        superstep: Optional[int] = None,
+        worker: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> TraceEvent:
+        """Record a completed span (the modeled clock knows durations
+        up front, so there are no open/close pairs)."""
+        event = TraceEvent(
+            name=name, kind=SPAN, cat=cat, ts=start, dur=dur,
+            superstep=superstep, worker=worker, args=args or {},
+        )
+        self.emit(event)
+        return event
+
+    def instant(
+        self,
+        name: str,
+        *,
+        cat: str,
+        ts: Optional[float] = None,
+        superstep: Optional[int] = None,
+        worker: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            name=name, kind=INSTANT, cat=cat,
+            ts=self.clock if ts is None else ts,
+            superstep=superstep, worker=worker, args=args or {},
+        )
+        self.emit(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> None:
+        """Move the modeled clock forward (engine-driven)."""
+        self.clock += dt
+
+    # ------------------------------------------------------------------
+    # lifecycle + conveniences
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush every sink (writes out file-backed sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Events retained by the first ring-buffer sink ([] if none)."""
+        return self._ring.events if self._ring is not None else []
+
+    def summary(self):
+        """Per-superstep phase/worker roll-up of the retained events."""
+        from repro.obs.summary import summarize
+
+        return summarize(self.events)
+
+    def chrome_json(self) -> str:
+        from repro.obs.chrome import chrome_trace_json
+
+        return chrome_trace_json(self.events)
+
+    def export_chrome(self, path: Union[str, Path]) -> Path:
+        from repro.obs.chrome import export_chrome_trace
+
+        return export_chrome_trace(self.events, path)
+
+
+class _NullTracer:
+    """No-op tracer: the zero-overhead disabled default.
+
+    Shares the :class:`Tracer` surface so instrumentation sites never
+    branch on type — only on the ``enabled`` attribute.
+    """
+
+    enabled = False
+    clock = 0.0
+    sinks: List[Sink] = []
+    events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def span(self, name: str, **kwargs: Any) -> None:
+        pass
+
+    def instant(self, name: str, **kwargs: Any) -> None:
+        pass
+
+    def advance(self, dt: float) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: the module-level disabled tracer every untraced job shares.
+NULL_TRACER = _NullTracer()
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Declarative tracing spec for :class:`~repro.core.config.JobConfig`.
+
+    ``out``/``format`` add a file sink (``"jsonl"`` streams events,
+    ``"chrome"`` writes a Chrome-trace JSON on close); a ring buffer of
+    ``buffer`` events (``None`` = unbounded) is always attached so the
+    :attr:`JobResult.trace` handle can summarise and re-export.
+    """
+
+    out: Optional[str] = None
+    format: str = "jsonl"
+    buffer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.format not in ("jsonl", "chrome"):
+            raise ValueError(
+                f"unknown trace format {self.format!r}; "
+                "expected 'jsonl' or 'chrome'"
+            )
+
+    def build(self) -> Tracer:
+        sinks: List[Sink] = [RingBufferSink(self.buffer)]
+        if self.out is not None:
+            if self.format == "chrome":
+                sinks.append(ChromeTraceSink(self.out))
+            else:
+                sinks.append(JsonlSink(self.out))
+        return Tracer(sinks)
+
+
+def resolve_tracer(spec: Any) -> Any:
+    """Normalise ``JobConfig.trace`` into a tracer.
+
+    Accepts ``None``/``False`` (disabled → :data:`NULL_TRACER`),
+    ``True`` (in-memory tracer), a :class:`TraceConfig`, a ready
+    :class:`Tracer`, or a path string (JSONL to that file).
+    """
+    if spec is None or spec is False:
+        return NULL_TRACER
+    if spec is True:
+        return Tracer()
+    if isinstance(spec, (Tracer, _NullTracer)):
+        return spec
+    if isinstance(spec, TraceConfig):
+        return spec.build()
+    if isinstance(spec, (str, Path)):
+        return TraceConfig(out=str(spec)).build()
+    raise TypeError(
+        "JobConfig.trace must be None, bool, a path, a TraceConfig, or "
+        f"a Tracer; got {type(spec).__name__}"
+    )

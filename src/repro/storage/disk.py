@@ -196,6 +196,21 @@ class SimulatedDisk:
         """Return a copy of the counters accumulated so far."""
         return self.counters.copy()
 
+    def delta_since(self, before: IOCounters) -> IOCounters:
+        """Bytes charged since *before* (a prior :meth:`snapshot`).
+
+        The executors bracket every superstep with a snapshot/delta
+        pair; the delta feeds both the superstep metrics and the
+        per-worker ``disk`` trace instants.
+        """
+        counters = self.counters
+        return IOCounters(
+            random_read=counters.random_read - before.random_read,
+            random_write=counters.random_write - before.random_write,
+            seq_read=counters.seq_read - before.seq_read,
+            seq_write=counters.seq_write - before.seq_write,
+        )
+
     def drain(self) -> IOCounters:
         """Return the counters accumulated so far and reset them to zero."""
         out = self.counters

@@ -1,9 +1,12 @@
 """CLI smoke and argument-handling tests."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import ALGORITHMS, build_parser, main
 from repro.core.graph import Graph
+from repro.datasets.generators import social_graph
 from repro.datasets.io import write_edge_list
 
 
@@ -101,3 +104,88 @@ class TestMainWithDataset:
         assert rc == 0
         assert "B_perp" in out
         assert "supersteps" not in out  # no job ran
+
+
+@pytest.fixture(scope="module")
+def tiny_edge_list(tmp_path_factory):
+    """A small but non-trivial graph shared by the smoke tests."""
+    graph = social_graph(num_vertices=60, avg_degree=4, seed=7)
+    path = tmp_path_factory.mktemp("cli") / "tiny.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestSmokeEveryAlgorithm:
+    """``main()`` must exit 0 for every supported --algorithm."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_algorithm_runs(self, algorithm, tiny_edge_list, capsys):
+        rc = main(["--edge-list", tiny_edge_list,
+                   "--algorithm", algorithm, "--mode", "hybrid",
+                   "--workers", "2", "--buffer", "50",
+                   "--supersteps", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "supersteps" in out
+
+    def test_stats(self, tiny_edge_list, capsys):
+        rc = main(["--edge-list", tiny_edge_list, "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "B_perp" in out
+
+
+class TestTraceOut:
+    def test_jsonl_trace_parses(self, tiny_edge_list, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        rc = main(["--edge-list", tiny_edge_list,
+                   "--algorithm", "pagerank", "--mode", "hybrid",
+                   "--workers", "2", "--buffer", "50",
+                   "--supersteps", "4",
+                   "--trace-out", str(out_path)])
+        report = capsys.readouterr().out
+        assert rc == 0
+        assert str(out_path) in report
+        lines = out_path.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        names = {e["name"] for e in events}
+        assert {"load_graph", "superstep", "update", "worker"} <= names
+        for event in events:
+            assert event["kind"] in ("span", "instant")
+            assert isinstance(event["ts"], float)
+
+    def test_chrome_trace_parses(self, tiny_edge_list, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        rc = main(["--edge-list", tiny_edge_list,
+                   "--algorithm", "sssp", "--mode", "hybrid",
+                   "--workers", "2", "--buffer", "50",
+                   "--supersteps", "4",
+                   "--trace-out", str(out_path),
+                   "--trace-format", "chrome"])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        records = doc["traceEvents"]
+        phases = {r["ph"] for r in records}
+        assert phases <= {"M", "X", "i"}
+        assert any(r["ph"] == "X" and r["name"] == "superstep"
+                   for r in records)
+
+    def test_trace_out_with_table_flag(self, tiny_edge_list, tmp_path,
+                                       capsys):
+        out_path = tmp_path / "trace.jsonl"
+        rc = main(["--edge-list", tiny_edge_list, "--mode", "push",
+                   "--workers", "2", "--supersteps", "3",
+                   "--trace", "--trace-out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "updated" in out  # the existing --trace table survives
+        assert out_path.exists()
+
+    def test_bad_format_rejected(self, tiny_edge_list, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--edge-list", tiny_edge_list,
+                 "--trace-out", str(tmp_path / "t"),
+                 "--trace-format", "xml"]
+            )

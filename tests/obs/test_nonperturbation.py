@@ -1,0 +1,66 @@
+"""Observation must not perturb the model.
+
+The acceptance bar for the tracing subsystem: ``JobMetrics.to_dict()``
+of a traced run is byte-identical to the untraced run, for every
+transport and both executors.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import social_graph
+
+
+def dumps(result):
+    return json.dumps(result.metrics.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(num_vertices=200, avg_degree=5, seed=17)
+
+
+class TestMetricsByteIdentity:
+    @pytest.mark.parametrize("mode", ["push", "pushm", "pull", "bpull",
+                                      "hybrid"])
+    def test_every_mode(self, graph, mode):
+        cfg = JobConfig(mode=mode, num_workers=3,
+                        message_buffer_per_worker=60, max_supersteps=6)
+        plain = run_job(graph, PageRank(supersteps=6), cfg)
+        traced = run_job(graph, PageRank(supersteps=6),
+                         cfg.but(trace=True))
+        assert dumps(plain) == dumps(traced)
+        assert plain.trace is None
+        assert traced.trace is not None and traced.trace.events
+
+    def test_reference_executor(self, graph):
+        cfg = JobConfig(mode="hybrid", num_workers=3,
+                        message_buffer_per_worker=60, max_supersteps=6,
+                        executor="reference")
+        plain = run_job(graph, PageRank(supersteps=6), cfg)
+        traced = run_job(graph, PageRank(supersteps=6),
+                         cfg.but(trace=True))
+        assert dumps(plain) == dumps(traced)
+
+    def test_recovery_run(self, graph):
+        cfg = JobConfig(mode="push", num_workers=3,
+                        message_buffer_per_worker=60,
+                        checkpoint_interval=2,
+                        fault=FaultPlan(worker=1, superstep=4))
+        plain = run_job(graph, SSSP(source=0), cfg)
+        traced = run_job(graph, SSSP(source=0), cfg.but(trace=True))
+        assert dumps(plain) == dumps(traced)
+        names = {e.name for e in traced.trace.events}
+        assert {"fault", "restart", "restore", "checkpoint"} <= names
+
+    def test_values_identical_too(self, graph):
+        cfg = JobConfig(mode="hybrid", num_workers=3,
+                        message_buffer_per_worker=60)
+        plain = run_job(graph, SSSP(source=0), cfg)
+        traced = run_job(graph, SSSP(source=0), cfg.but(trace=True))
+        assert plain.values == traced.values

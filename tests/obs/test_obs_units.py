@@ -1,0 +1,176 @@
+"""Unit tests for the obs building blocks: events, sinks, tracer, chrome."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CAT_ENGINE,
+    CAT_PHASE,
+    ChromeTraceSink,
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+    TraceConfig,
+    TraceEvent,
+    Tracer,
+    chrome_trace_json,
+    resolve_tracer,
+    summarize,
+)
+
+
+def span(name, ts, dur, **kwargs):
+    return TraceEvent(name=name, kind="span", cat=kwargs.pop("cat", "engine"),
+                      ts=ts, dur=dur, **kwargs)
+
+
+class TestTraceEvent:
+    def test_roundtrip(self):
+        event = span("superstep", 1.5, 0.25, superstep=3,
+                     args={"mode": "push"})
+        back = TraceEvent.from_dict(
+            json.loads(json.dumps(event.to_dict()))
+        )
+        assert back == event
+
+    def test_instant_dict_omits_dur(self):
+        event = TraceEvent(name="net", kind="instant", cat="net", ts=1.0)
+        assert "dur" not in event.to_dict()
+
+    def test_end(self):
+        assert span("x", 2.0, 0.5).end == 2.5
+
+
+class TestSinks:
+    def test_ring_buffer_caps(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit(span("e", float(i), 0.0))
+        assert len(sink) == 3
+        assert [e.ts for e in sink.events] == [2.0, 3.0, 4.0]
+
+    def test_ring_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_sink_streams(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # lazy open
+        sink.emit(span("a", 0.0, 1.0))
+        sink.emit(span("b", 1.0, 1.0))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_chrome_sink_writes_on_close(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path)
+        sink.emit(span("a", 0.0, 1.0, worker=1))
+        assert not path.exists()
+        sink.close()
+        doc = json.loads(path.read_text())
+        assert any(r["ph"] == "X" for r in doc["traceEvents"])
+
+
+class TestTracer:
+    def test_default_ring_and_clock(self):
+        tracer = Tracer()
+        tracer.span("s", cat=CAT_ENGINE, start=tracer.clock, dur=2.0)
+        tracer.advance(2.0)
+        tracer.instant("i", cat=CAT_ENGINE)
+        assert tracer.clock == 2.0
+        assert [e.name for e in tracer.events] == ["s", "i"]
+        assert tracer.events[1].ts == 2.0  # instant stamped at the clock
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.span("s", cat=CAT_ENGINE, start=0.0, dur=1.0)
+        NULL_TRACER.instant("i", cat=CAT_ENGINE)
+        NULL_TRACER.advance(5.0)
+        NULL_TRACER.close()
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.clock == 0.0
+        assert NULL_TRACER.events == []
+
+    def test_resolve_variants(self, tmp_path):
+        assert resolve_tracer(None) is NULL_TRACER
+        assert resolve_tracer(False) is NULL_TRACER
+        assert resolve_tracer(True).enabled
+        ready = Tracer()
+        assert resolve_tracer(ready) is ready
+        path_based = resolve_tracer(str(tmp_path / "x.jsonl"))
+        assert any(isinstance(s, JsonlSink) for s in path_based.sinks)
+        with pytest.raises(TypeError):
+            resolve_tracer(42)
+
+    def test_trace_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(format="xml")
+
+    def test_trace_config_chrome_build(self, tmp_path):
+        tracer = TraceConfig(out=str(tmp_path / "t.json"),
+                             format="chrome", buffer=10).build()
+        kinds = {type(s) for s in tracer.sinks}
+        assert kinds == {RingBufferSink, ChromeTraceSink}
+
+
+class TestChromeExport:
+    def test_tracks_and_units(self):
+        events = [
+            span("superstep", 1.0, 0.5, superstep=1),
+            span("worker", 1.0, 0.4, superstep=1, worker=0),
+            TraceEvent(name="net", kind="instant", cat="net", ts=1.2,
+                       superstep=1, worker=2),
+        ]
+        doc = json.loads(chrome_trace_json(events))
+        records = doc["traceEvents"]
+        names = {r["args"]["name"] for r in records
+                 if r["name"] == "thread_name"}
+        assert names == {"engine", "worker 0", "worker 2"}
+        x = next(r for r in records if r["ph"] == "X"
+                 and r["name"] == "superstep")
+        assert x["ts"] == pytest.approx(1.0e6)  # seconds -> microseconds
+        assert x["dur"] == pytest.approx(0.5e6)
+        assert x["tid"] == 0
+        i = next(r for r in records if r["ph"] == "i")
+        assert i["tid"] == 3  # worker w maps to track w + 1
+
+
+class TestSummarize:
+    def test_pre_span_net_instants_are_attached(self):
+        # the network flushes its instants before the superstep span.
+        events = [
+            TraceEvent(name="net", kind="instant", cat="net", ts=0.0,
+                       superstep=1, worker=0),
+            span("superstep", 0.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+            span("update", 0.2, 0.5, cat=CAT_PHASE, superstep=1),
+            span("worker", 0.0, 0.8, cat="worker", superstep=1, worker=0),
+            span("barrier", 0.8, 0.2, cat="worker", superstep=1, worker=0),
+        ]
+        summary = summarize(events)
+        (row,) = summary.supersteps
+        assert row.instants == {"net": 1}
+        assert row.mode == "push"
+        assert row.phase_seconds["update"] == pytest.approx(0.5)
+        assert row.worker_seconds[0] == (
+            pytest.approx(0.8), pytest.approx(0.2)
+        )
+
+    def test_reexecution_overwrites_discarded_attempt(self):
+        events = [
+            span("superstep", 0.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+            TraceEvent(name="fault", kind="instant", cat="engine", ts=1.0,
+                       superstep=2),
+            TraceEvent(name="restart", kind="instant", cat="engine",
+                       ts=1.0),
+            span("superstep", 1.0, 2.0, superstep=1,
+                 args={"mode": "push"}),
+        ]
+        summary = summarize(events)
+        (row,) = summary.supersteps
+        assert row.elapsed_seconds == 2.0  # the attempt that stuck
+        assert ("fault", 2) in summary.incidents
+        assert ("restart", None) in summary.incidents

@@ -1,0 +1,147 @@
+"""Span-structure equivalence and the traced-run acceptance shape.
+
+The batched executor and the per-vertex reference executor must emit
+the same trace — not just the same metrics.  Both derive their spans
+from the (byte-identical) superstep metrics through the same
+attribution, so the full event stream matches, and the suite pins the
+structural view (event names and counts per superstep) explicitly on
+top of the exact comparison.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import social_graph
+from repro.obs import CAT_PHASE, CAT_WORKER, SPAN
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(num_vertices=250, avg_degree=5, seed=23)
+
+
+def traced(graph, program, **kwargs):
+    kwargs.setdefault("num_workers", 3)
+    kwargs.setdefault("message_buffer_per_worker", 60)
+    return run_job(graph, program, JobConfig(trace=True, **kwargs))
+
+
+def structure(events):
+    """(superstep, name, kind, worker) histogram — the span skeleton."""
+    shape = {}
+    for e in events:
+        key = (e.superstep, e.name, e.kind, e.worker)
+        shape[key] = shape.get(key, 0) + 1
+    return shape
+
+
+class TestExecutorSpanEquivalence:
+    @pytest.mark.parametrize("mode", ["push", "bpull", "hybrid"])
+    def test_identical_structure_per_superstep(self, graph, mode):
+        batched = traced(graph, PageRank(supersteps=6), mode=mode)
+        reference = traced(graph, PageRank(supersteps=6), mode=mode,
+                           executor="reference")
+        assert structure(batched.trace.events) == structure(
+            reference.trace.events
+        )
+
+    def test_identical_events_exactly(self, graph):
+        batched = traced(graph, SSSP(source=0), mode="hybrid")
+        reference = traced(graph, SSSP(source=0), mode="hybrid",
+                           executor="reference")
+        a = [e.to_dict() for e in batched.trace.events]
+        b = [e.to_dict() for e in reference.trace.events]
+        assert a == b
+
+
+class TestTracedHybridShape:
+    """The ISSUE acceptance criterion: a traced hybrid PageRank run."""
+
+    @pytest.fixture(scope="class")
+    def result(self, graph):
+        return traced(graph, PageRank(supersteps=8), mode="hybrid")
+
+    def test_every_superstep_has_phase_and_worker_children(self, result):
+        events = result.trace.events
+        executed = {e.superstep for e in events if e.name == "superstep"}
+        assert executed == set(
+            range(1, result.metrics.num_supersteps + 1)
+        )
+        workers = set(range(result.metrics.num_workers))
+        for step in executed:
+            step_events = [e for e in events if e.superstep == step]
+            phases = [e for e in step_events if e.cat == CAT_PHASE]
+            assert phases, f"superstep {step} has no phase children"
+            per_worker = {
+                e.worker for e in step_events
+                if e.cat == CAT_WORKER and e.kind == SPAN
+            }
+            assert per_worker == workers
+
+    def test_phase_children_tile_the_superstep_span(self, result):
+        events = result.trace.events
+        for parent in (e for e in events if e.name == "superstep"):
+            children = [
+                e for e in events
+                if e.cat == CAT_PHASE and e.superstep == parent.superstep
+            ]
+            for child in children:
+                assert child.ts >= parent.ts - 1e-9
+                assert child.end <= parent.end + 1e-9
+            total = sum(c.dur for c in children)
+            assert total <= parent.dur + 1e-9
+
+    def test_switch_decisions_carry_q_inputs(self, result):
+        decisions = [
+            e for e in result.trace.events if e.name == "switch_decision"
+        ]
+        assert decisions
+        for d in decisions:
+            assert {"q", "mco", "bytem", "io_mdisk", "io_edges_push",
+                    "io_edges_bpull", "io_fragments",
+                    "io_vrr"} <= set(d.args)
+
+    def test_chrome_export_covers_all_tracks(self, result, tmp_path):
+        path = result.trace.export_chrome(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        records = doc["traceEvents"]
+        names = {
+            r["args"]["name"] for r in records
+            if r["name"] == "thread_name"
+        }
+        expected = {"engine"} | {
+            f"worker {w}" for w in range(result.metrics.num_workers)
+        }
+        assert names == expected
+        spans = [r for r in records if r["ph"] == "X"]
+        assert {r["name"] for r in spans} >= {"superstep", "update",
+                                              "worker", "barrier"}
+
+    def test_summary_covers_every_superstep(self, result):
+        summary = result.trace.summary()
+        assert [s.superstep for s in summary.supersteps] == list(
+            range(1, result.metrics.num_supersteps + 1)
+        )
+        for row, step in zip(summary.supersteps,
+                             result.metrics.supersteps):
+            assert row.mode == step.mode
+            assert row.elapsed_seconds == pytest.approx(
+                step.elapsed_seconds
+            )
+            assert sum(row.phase_seconds.values()) <= (
+                row.elapsed_seconds + 1e-9
+            )
+        assert "mode" in summary.table()
+
+
+class TestPullBaselineTrace:
+    def test_pull_mode_emits_gather_and_apply(self, graph):
+        result = traced(graph, PageRank(supersteps=4), mode="pull")
+        events = result.trace.events
+        phase_names = {e.name for e in events if e.cat == CAT_PHASE}
+        assert phase_names == {"pullRes", "update"}
