@@ -1,0 +1,183 @@
+"""Vectorized-kernel benchmark: NumPy executor vs batched wall-clock.
+
+Like ``bench_perf_hotpath.py`` this measures real wall-clock time, not
+modeled seconds: the NumPy-vectorized superstep executor (CSR slicing,
+``bincount``/``minimum.at`` folds, dense update rules) against the
+batched per-vertex executor.  Every measured cell asserts byte-identical
+``JobMetrics.to_dict()`` output, so the speedup is pure
+interpreter-overhead removal, not a change in the modeled experiment.
+
+The guarded cell is disk-resident PageRank in push mode at 100k vertices
+(30k under ``REPRO_BENCH_QUICK=1``): the vectorized executor must be at
+least 3x faster than batched job-level — the ratio includes the common
+one-time setup (graph partitioning, adjacency-store build), so the
+superstep-only speedup is considerably higher.  The b-pull, hybrid and
+SSSP rows are informational.
+
+A scale cell additionally runs a 1M-vertex synthetic graph through the
+vectorized executor only (batched would dominate the suite's runtime),
+proving the dense path holds up beyond toy sizes.  Skipped under QUICK.
+
+Results land in ``benchmarks/results/BENCH_kernels.json``.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import QUICK, emit, once
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+from repro.core.config import JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import social_graph
+
+np = pytest.importorskip(
+    "numpy", reason="the vectorized executor needs NumPy"
+)
+
+#: guarded wall-clock ratio for the push-mode PageRank cell.
+MIN_PUSH_SPEEDUP = 3.0
+
+NUM_VERTICES = 30_000 if QUICK else 100_000
+AVG_DEGREE = 10
+NUM_WORKERS = 5
+BUFFER = 1000
+SUPERSTEPS = 6
+REPEATS = 2  # best-of, to shave scheduler noise
+
+SCALE_VERTICES = 1_000_000
+SCALE_DEGREE = 8
+SCALE_SUPERSTEPS = 5
+
+
+def _graph():
+    return social_graph(NUM_VERTICES, avg_degree=AVG_DEGREE, seed=11)
+
+
+def _time_job(graph, program_factory, cfg):
+    """Best-of-``REPEATS`` wall-clock for one (executor, cell)."""
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        program = program_factory()
+        start = time.perf_counter()
+        result = run_job(graph, program, cfg)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _measure_cell(graph, program_factory, mode):
+    base = JobConfig(mode=mode, num_workers=NUM_WORKERS,
+                     message_buffer_per_worker=BUFFER,
+                     max_supersteps=SUPERSTEPS)
+    bat_s, bat = _time_job(graph, program_factory,
+                           base.but(executor="batched"))
+    vec_s, vec = _time_job(graph, program_factory,
+                           base.but(executor="vectorized"))
+    assert vec.runtime.active_executor == "vectorized", (
+        f"cell fell back to batched: {vec.runtime.executor_fallback}")
+    # the kernels must not change the modeled experiment at all
+    assert json.dumps(vec.metrics.to_dict(), sort_keys=True) == \
+        json.dumps(bat.metrics.to_dict(), sort_keys=True), (
+            f"vectorized executor diverged from batched in mode {mode!r}")
+    assert vec.values == bat.values
+    return {
+        "mode": mode,
+        "batched_seconds": round(bat_s, 4),
+        "vectorized_seconds": round(vec_s, 4),
+        "speedup": round(bat_s / vec_s, 3),
+    }
+
+
+def run_matrix():
+    graph = _graph()
+    cells = [
+        ("pagerank", lambda: PageRank(supersteps=SUPERSTEPS), "push"),
+        ("pagerank", lambda: PageRank(supersteps=SUPERSTEPS), "bpull"),
+        ("pagerank", lambda: PageRank(supersteps=SUPERSTEPS), "hybrid"),
+        ("sssp", lambda: SSSP(source=0), "push"),
+    ]
+    records = []
+    for program_key, factory, mode in cells:
+        record = _measure_cell(graph, factory, mode)
+        record["program"] = program_key
+        records.append(record)
+    return records
+
+
+def run_scale_cell():
+    """1M-vertex vectorized-only cell; returns its record (or None)."""
+    if QUICK:
+        return None
+    graph = social_graph(
+        SCALE_VERTICES, avg_degree=SCALE_DEGREE, seed=7
+    )
+    cfg = JobConfig(
+        executor="vectorized", mode="push", num_workers=NUM_WORKERS,
+        message_buffer_per_worker=20_000,
+        max_supersteps=SCALE_SUPERSTEPS,
+    )
+    start = time.perf_counter()
+    result = run_job(
+        graph, PageRank(supersteps=SCALE_SUPERSTEPS), cfg
+    )
+    elapsed = time.perf_counter() - start
+    assert result.runtime.active_executor == "vectorized"
+    steps = result.metrics.to_dict()["supersteps"]
+    assert len(steps) == SCALE_SUPERSTEPS
+    return {
+        "program": "pagerank",
+        "mode": "push",
+        "num_vertices": SCALE_VERTICES,
+        "num_edges": graph.num_edges,
+        "vectorized_seconds": round(elapsed, 4),
+        "raw_messages": sum(s["raw_messages"] for s in steps),
+    }
+
+
+def test_kernel_speedup(benchmark, results_dir):
+    records, scale = once(
+        benchmark, lambda: (run_matrix(), run_scale_cell())
+    )
+    rows = [
+        [r["program"], r["mode"], f"{r['batched_seconds']:.2f}",
+         f"{r['vectorized_seconds']:.2f}", f"{r['speedup']:.2f}x"]
+        for r in records
+    ]
+    emit("kernels", format_table(
+        ["program", "mode", "batched (s)", "vectorized (s)", "speedup"],
+        rows,
+        title=(f"Vectorized-kernel wall-clock "
+               f"({NUM_VERTICES} vertices, deg {AVG_DEGREE}, "
+               f"{NUM_WORKERS} workers, buffer {BUFFER})"),
+    ))
+    payload = {
+        "config": {
+            "num_vertices": NUM_VERTICES,
+            "avg_degree": AVG_DEGREE,
+            "num_workers": NUM_WORKERS,
+            "message_buffer_per_worker": BUFFER,
+            "max_supersteps": SUPERSTEPS,
+            "repeats": REPEATS,
+            "quick": QUICK,
+        },
+        "cells": records,
+        "scale_cell": scale,
+    }
+    (results_dir / "BENCH_kernels.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    guarded = next(r for r in records
+                   if r["program"] == "pagerank" and r["mode"] == "push")
+    if not QUICK:
+        assert guarded["speedup"] >= MIN_PUSH_SPEEDUP, (
+            f"push-mode PageRank speedup {guarded['speedup']}x is below "
+            f"the {MIN_PUSH_SPEEDUP}x floor")
+    # every cell must at least not regress
+    assert all(r["speedup"] > 1.0 for r in records)

@@ -54,3 +54,10 @@ class LPA(VertexProgram):
         ctx: ProgramContext,
     ) -> Optional[int]:
         return value
+
+    def vectorized(self) -> None:
+        # The majority vote needs the full multiset of neighbor labels
+        # per vertex — not expressible as a sum/min dense combine — so
+        # LPA always runs on the batched executor (the same property
+        # that excludes it from pushM in the paper).
+        return None

@@ -10,9 +10,54 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+from repro.core.api import (
+    ProgramContext,
+    UpdateResult,
+    VectorizedRules,
+    VertexProgram,
+)
 
 __all__ = ["PageRank"]
+
+
+class _PageRankRules(VectorizedRules):
+    """Dense kernels mirroring :class:`PageRank` bit-for-bit.
+
+    The update is written as ``base + damping * acc`` — the exact
+    operation order of the scalar path, where Python's ``sum`` left fold
+    is reproduced by the executor's sequential ``bincount`` fold.
+    """
+
+    combine = "sum"
+
+    def __init__(self, program: "PageRank") -> None:
+        self.program = program
+
+    def update_dense(self, ctx, targets, values, acc, has_message, xp):
+        program = self.program
+        if ctx.superstep == 1:
+            new = xp.full(len(targets), 1.0 / ctx.num_vertices)
+        else:
+            base = (1.0 - program.damping) / ctx.num_vertices
+            new = base + program.damping * acc
+        respond = True
+        if program.tolerance is not None and ctx.superstep > 2:
+            respond = ctx.aggregates.get("delta", float("inf")) >= (
+                program.tolerance
+            )
+        return new, respond
+
+    def aggregate_dense(self, ctx, targets, old_values, new_values, xp):
+        if self.program.tolerance is None:
+            return None
+        return {"delta": xp.abs(new_values - old_values)}
+
+    def source_payloads(self, ctx, values, out_degrees, xp):
+        valid = out_degrees > 0
+        payloads = xp.divide(
+            values, out_degrees, out=xp.zeros_like(values), where=valid
+        )
+        return payloads, valid
 
 
 class PageRank(VertexProgram):
@@ -90,3 +135,6 @@ class PageRank(VertexProgram):
 
     def combine(self, a: float, b: float) -> float:
         return a + b
+
+    def vectorized(self) -> _PageRankRules:
+        return _PageRankRules(self)

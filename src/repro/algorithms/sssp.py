@@ -11,9 +11,46 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
-from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+from repro.core.api import (
+    ProgramContext,
+    UpdateResult,
+    VectorizedRules,
+    VertexProgram,
+)
 
 __all__ = ["SSSP"]
+
+
+class _SSSPRules(VectorizedRules):
+    """Dense kernels mirroring :class:`SSSP` bit-for-bit.
+
+    ``min`` is exactly associative/commutative over floats without NaN,
+    so the executor's ``minimum.at`` fold equals any scalar fold order.
+    """
+
+    combine = "min"
+
+    def __init__(self, program: "SSSP") -> None:
+        self.program = program
+
+    def initially_active_mask(self, ctx, xp):
+        mask = xp.zeros(ctx.num_vertices, dtype=bool)
+        mask[self.program.source] = True
+        return mask
+
+    def update_dense(self, ctx, targets, values, acc, has_message, xp):
+        improved = acc < values
+        new = xp.where(improved, acc, values)
+        respond = improved
+        if ctx.superstep == 1:
+            is_source = targets == self.program.source
+            new = xp.where(is_source, 0.0, new)
+            respond = respond | is_source
+        return new, respond
+
+    def edge_payloads(self, ctx, values, sources, weights, xp):
+        svalues = values[sources]
+        return svalues + weights, xp.isfinite(svalues)
 
 
 class SSSP(VertexProgram):
@@ -62,3 +99,6 @@ class SSSP(VertexProgram):
 
     def combine(self, a: float, b: float) -> float:
         return a if a <= b else b
+
+    def vectorized(self) -> _SSSPRules:
+        return _SSSPRules(self)

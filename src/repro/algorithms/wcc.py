@@ -13,9 +13,30 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.api import ProgramContext, UpdateResult, VertexProgram
+from repro.core.api import (
+    ProgramContext,
+    UpdateResult,
+    VectorizedRules,
+    VertexProgram,
+)
 
 __all__ = ["WCC"]
+
+
+class _WCCRules(VectorizedRules):
+    """Dense kernels mirroring :class:`WCC` bit-for-bit (int64 labels)."""
+
+    combine = "min"
+
+    def update_dense(self, ctx, targets, values, acc, has_message, xp):
+        best = xp.where(has_message, acc, values)
+        if ctx.superstep == 1:
+            return xp.minimum(best, values), True
+        improved = best < values
+        return xp.where(improved, best, values), improved
+
+    def source_payloads(self, ctx, values, out_degrees, xp):
+        return values, None
 
 
 class WCC(VertexProgram):
@@ -60,3 +81,6 @@ class WCC(VertexProgram):
 
     def combine(self, a: int, b: int) -> int:
         return a if a <= b else b
+
+    def vectorized(self) -> _WCCRules:
+        return _WCCRules()

@@ -105,6 +105,9 @@ def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
             args={"nbytes": checkpoint.nbytes},
         )
     rt.values = list(checkpoint.values)
+    # the vectorized executor caches dense views of rt.values and the
+    # message stores — both are rebound below, so the cache is stale.
+    rt.scratch.pop("vectorized", None)
     rt.resp_prev = FlagBitset.from_iterable(checkpoint.resp_prev)
     rt.resp_next = FlagBitset(rt.graph.num_vertices)
     # the supersteps after the snapshot are discarded and re-executed;

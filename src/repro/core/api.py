@@ -28,7 +28,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["ProgramContext", "UpdateResult", "VertexProgram"]
+__all__ = [
+    "ProgramContext",
+    "UpdateResult",
+    "VectorizedRules",
+    "VertexProgram",
+]
 
 
 @dataclass
@@ -65,6 +70,85 @@ class UpdateResult:
 
     value: Any
     respond: bool
+
+
+class VectorizedRules:
+    """Optional dense NumPy kernels backing ``executor="vectorized"``.
+
+    A program that wants the vectorized executor returns an instance
+    from :meth:`VertexProgram.vectorized`.  The contract is strict: each
+    kernel must reproduce the scalar methods **bit-for-bit** — the
+    engine's equivalence oracle compares full metric dumps and final
+    values byte-identically, so "close enough" floating point is a bug.
+    In practice that means:
+
+    * express the update as the *same* sequence of elementwise IEEE-754
+      operations the scalar ``update()`` performs (e.g. PageRank's
+      ``base + damping * acc``, never an algebraically equal variant);
+    * message payloads must have the same dtype as the vertex values
+      (the executor's accumulators inherit it);
+    * ``combine`` declares the dense reduction: ``"sum"`` folds with
+      ``np.bincount``/``np.add.at`` (sequential left folds, matching
+      Python's ``sum``), ``"min"`` with ``np.minimum.at``.
+
+    All kernels receive the NumPy module as ``xp`` so this class — and
+    the programs defining rules — import cleanly on NumPy-less hosts,
+    where the engine transparently falls back to the batched executor.
+    """
+
+    #: dense reduction matching :meth:`VertexProgram.combine`:
+    #: ``"sum"`` or ``"min"``.
+    combine: str = "sum"
+
+    def initially_active_mask(self, ctx: ProgramContext, xp) -> Optional[Any]:
+        """Bool mask of vertices active in superstep 1, or None.
+
+        None (the default) makes the executor derive the mask from
+        :meth:`VertexProgram.initially_active`.
+        """
+        return None
+
+    def update_dense(
+        self, ctx: ProgramContext, targets, values, acc, has_message, xp
+    ):
+        """Dense :meth:`VertexProgram.update` over the *targets* vertices.
+
+        ``values`` holds their pre-update values, ``acc`` the combined
+        incoming messages (the combiner's identity where ``has_message``
+        is False).  Returns ``(new_values, respond)`` where ``respond``
+        is a bool array aligned with *targets* or a plain bool scalar.
+        """
+        raise NotImplementedError
+
+    def aggregate_dense(
+        self, ctx: ProgramContext, targets, old_values, new_values, xp
+    ) -> Optional[Dict[str, Any]]:
+        """Dense :meth:`VertexProgram.aggregate`: key -> contribution array."""
+        return None
+
+    def source_payloads(self, ctx: ProgramContext, values, out_degrees, xp):
+        """Uniform-message payload per source vertex.
+
+        ``values``/``out_degrees`` are aligned arrays over an arbitrary
+        subset of vertices chosen by the executor (the full graph for
+        b-pull gathers, each worker's responding vertices for push
+        staging — which must see that worker's *post-update* values).
+        The kernel must therefore be elementwise.  Returns
+        ``(payloads, valid)`` aligned with the input; ``valid`` may be
+        None (every payload valid) or a bool mask marking sources whose
+        :meth:`VertexProgram.message_value` would return non-None.
+        Only consulted when ``uniform_messages`` is set.
+        """
+        raise NotImplementedError
+
+    def edge_payloads(self, ctx: ProgramContext, values, sources, weights, xp):
+        """Per-edge payloads for non-uniform programs.
+
+        ``sources``/``weights`` are aligned per edge.  Returns
+        ``(payloads, valid)`` with the same None-semantics as
+        :meth:`source_payloads`, aligned with the input edges.
+        """
+        raise NotImplementedError
 
 
 class VertexProgram(ABC):
@@ -133,6 +217,16 @@ class VertexProgram(ABC):
 
         Must depend only on the arguments — this is the pullRes contract.
         """
+
+    def vectorized(self) -> Optional[VectorizedRules]:
+        """Dense NumPy kernels for ``executor="vectorized"``, or None.
+
+        Returning None (the default) routes the job to the batched
+        executor — the correct answer for programs whose update cannot
+        be expressed through a sum/min dense combine (e.g. LPA's
+        majority vote).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # combining

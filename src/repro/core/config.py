@@ -152,8 +152,12 @@ class JobConfig:
     #: superstep executor implementation.  ``"batched"`` (default) is the
     #: optimized hot path (aggregated disk charges, bitset flags, bucketed
     #: routing); ``"reference"`` is the per-vertex-accounting oracle in
-    #: :mod:`repro.core.modes.reference`.  Both produce byte-identical
-    #: :class:`JobMetrics` — the equivalence tests run every job twice.
+    #: :mod:`repro.core.modes.reference`; ``"vectorized"`` runs dense
+    #: NumPy kernels over a CSR view (:mod:`repro.core.modes.vectorized`)
+    #: and transparently falls back to ``"batched"`` when NumPy is
+    #: missing or the job shape has no vectorized path.  All tiers
+    #: produce byte-identical :class:`JobMetrics` — the equivalence
+    #: tests run every job through all of them.
     executor: str = "batched"
     #: snapshot the iteration state every N supersteps and recover from
     #: the latest snapshot instead of recomputing from scratch — the
@@ -185,10 +189,10 @@ class JobConfig:
                 "asynchronous iteration is only supported by the push "
                 "family (push/pushm)"
             )
-        if self.executor not in ("batched", "reference"):
+        if self.executor not in ("batched", "reference", "vectorized"):
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected "
-                "'batched' or 'reference'"
+                "'batched', 'reference', or 'vectorized'"
             )
 
     # Convenience -------------------------------------------------------

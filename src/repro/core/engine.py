@@ -34,6 +34,7 @@ from repro.core.metrics import JobMetrics
 from repro.core.modes.common import run_superstep
 from repro.core.modes.pull import run_pull_superstep
 from repro.core.modes.reference import run_superstep_reference
+from repro.core.modes.vectorized import run_superstep_vectorized
 from repro.core.runtime import Runtime
 from repro.core.switching import FixedController, HybridController
 from repro.cluster.checkpoint import restore_checkpoint, take_checkpoint
@@ -212,11 +213,14 @@ def _iterate(
     """
     config = rt.config
     tracer = rt.tracer
-    superstep_fn = (
-        run_superstep_reference
-        if config.executor == "reference"
-        else run_superstep
-    )
+    if config.executor == "reference":
+        superstep_fn = run_superstep_reference
+    elif rt.active_executor == "vectorized":
+        # active_executor, not config.executor: the runtime may have
+        # downgraded a vectorized request to batched (see Runtime).
+        superstep_fn = run_superstep_vectorized
+    else:
+        superstep_fn = run_superstep
     superstep = start_superstep
     while superstep < rt.max_supersteps:
         superstep += 1

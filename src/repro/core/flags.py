@@ -104,6 +104,18 @@ class FlagBitset:
         """
         self._count += delta
 
+    def numpy_view(self, xp):
+        """Writable ``uint8`` NumPy view over the raw flag bytes.
+
+        *xp* is the NumPy module (passed in so this class stays
+        importable without it).  The view aliases :attr:`data`, so the
+        hot-path discipline of :meth:`add_to_count` applies: only flip
+        0 -> 1 bytes through it and report how many.  Views must be
+        re-derived after :meth:`~repro.core.runtime.Runtime.swap_flags`
+        — the engine swaps the underlying objects every superstep.
+        """
+        return xp.frombuffer(self.data, dtype=xp.uint8)
+
     def to_list(self) -> List[bool]:
         """Plain ``List[bool]`` copy (checkpoint snapshots)."""
         return [bool(b) for b in self.data]

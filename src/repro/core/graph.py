@@ -14,11 +14,82 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
 
-__all__ = ["Graph", "Partition", "range_partition", "hash_partition"]
+__all__ = ["CSRView", "Graph", "Partition", "range_partition", "hash_partition"]
 
 Edge = Tuple[int, float]
+
+
+class CSRView:
+    """Contiguous CSR (compressed sparse row) arrays over a :class:`Graph`.
+
+    Built once by :meth:`Graph.csr` and shared by every consumer; the
+    vectorized executor slices it per worker and per Vblock instead of
+    walking Python adjacency lists.  Requires NumPy.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n + 1]`` — row ``v``'s edges live at
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64[m]`` — destination vertex ids, in adjacency-list order.
+    weights:
+        ``float64[m]`` — edge weights, aligned with ``indices``.
+    out_degrees:
+        ``int64[n]`` — per-vertex out-degree (``indptr`` differences).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "out_degrees")
+
+    def __init__(self, indptr, indices, weights, out_degrees) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.out_degrees = out_degrees
+
+    def row_span(self, lo: int, hi: int) -> Tuple[Any, Any, Any]:
+        """Zero-copy slice for the contiguous vertex range ``[lo, hi)``.
+
+        Returns ``(indptr_local, indices, weights)`` where
+        ``indptr_local`` is rebased to start at 0 — the natural shape for
+        a range-partition worker slice or a Vblock slice.
+        """
+        start = self.indptr[lo]
+        stop = self.indptr[hi]
+        return (
+            self.indptr[lo : hi + 1] - start,
+            self.indices[start:stop],
+            self.weights[start:stop],
+        )
+
+    def gather_rows(self, rows) -> Tuple[Any, Any, Any]:
+        """Row-major gather for an arbitrary (e.g. strided) vertex set.
+
+        Returns ``(indptr_local, indices, weights)`` over exactly the
+        edges of *rows*, preserving adjacency order within each row —
+        the shape :meth:`row_span` produces, for hash partitions.
+        """
+        import numpy as np
+
+        counts = self.out_degrees[rows]
+        indptr_local = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr_local[1:])
+        total = int(indptr_local[-1])
+        if total == 0:
+            return (
+                indptr_local,
+                self.indices[:0],
+                self.weights[:0],
+            )
+        starts = np.repeat(self.indptr[rows], counts)
+        offsets = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(indptr_local[:-1], counts)
+        )
+        flat = starts + offsets
+        return indptr_local, self.indices[flat], self.weights[flat]
 
 
 class Graph:
@@ -46,6 +117,7 @@ class Graph:
         self._n = num_vertices
         self._out: List[List[Edge]] = [[] for _ in range(num_vertices)]
         self._num_edges = 0
+        self._csr: Any = None
         for edge in edges:
             if len(edge) == 2:
                 src, dst = edge
@@ -64,6 +136,7 @@ class Graph:
             )
         self._out[src].append((dst, weight))
         self._num_edges += 1
+        self._csr = None  # any cached CSR view is stale now
 
     # ------------------------------------------------------------------
     # accessors
@@ -111,6 +184,40 @@ class Graph:
             for dst, weight in self._out[src]:
                 rev[dst].append((src, weight))
         return rev
+
+    def csr(self) -> CSRView:
+        """The cached :class:`CSRView` of this graph (requires NumPy).
+
+        Built on first call in two C-level passes over the adjacency
+        lists; invalidated by :meth:`add_edge`.  Raises ``RuntimeError``
+        when NumPy is unavailable — callers that can fall back (the
+        vectorized executor) check availability before asking.
+        """
+        if self._csr is None:
+            try:
+                import numpy as np
+            except ImportError as exc:  # pragma: no cover - numpy-less host
+                raise RuntimeError(
+                    "Graph.csr() requires NumPy, which is not installed"
+                ) from exc
+            n = self._n
+            m = self._num_edges
+            out = self._out
+            degrees = np.fromiter(map(len, out), dtype=np.int64, count=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (dst for row in out for dst, _w in row),
+                dtype=np.int64,
+                count=m,
+            )
+            weights = np.fromiter(
+                (w for row in out for _dst, w in row),
+                dtype=np.float64,
+                count=m,
+            )
+            self._csr = CSRView(indptr, indices, weights, degrees)
+        return self._csr
 
     @property
     def average_degree(self) -> float:

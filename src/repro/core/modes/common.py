@@ -49,7 +49,11 @@ from repro.core.runtime import Runtime
 from repro.obs.instrument import derive_phases, emit_superstep_events
 from repro.storage.disk import IOCounters
 
-__all__ = ["run_superstep", "bpull_gather"]
+__all__ = [
+    "run_superstep",
+    "bpull_gather",
+    "finalize_superstep_metrics",
+]
 
 #: shared immutable empty inbox for vertices without messages.
 _NO_MESSAGES: Tuple[Any, ...] = ()
@@ -281,6 +285,36 @@ def run_superstep(
     # ------------------------------------------------------------------
     # Metrics assembly.
     # ------------------------------------------------------------------
+    finalize_superstep_metrics(
+        rt, metrics, in_mech, out_mech,
+        disk_before, spilled_before,
+        updates_of, msgs_gen_of, edges_of, spill_read_of, pull_memory_of,
+    )
+    return metrics
+
+
+def finalize_superstep_metrics(
+    rt: Runtime,
+    metrics: SuperstepMetrics,
+    in_mech: str,
+    out_mech: str,
+    disk_before: Dict[int, Any],
+    spilled_before: Dict[int, int],
+    updates_of: Dict[int, int],
+    msgs_gen_of: Dict[int, int],
+    edges_of: Dict[int, int],
+    spill_read_of: Dict[int, int],
+    pull_memory_of: Dict[int, int],
+) -> None:
+    """Fold per-worker counters into the superstep's cost metrics.
+
+    Shared by the batched and vectorized executors so the modeled-cost
+    assembly — per-worker disk deltas, spill accounting, CPU/IO/network
+    seconds, memory peaks, and trace emission — cannot drift between
+    them.  Mutates *metrics* in place.
+    """
+    cfg = rt.config
+    sizes = cfg.sizes
     metrics.updated_vertices = sum(updates_of.values())
     metrics.responding_vertices = rt.responding_count()
     net = rt.network.end_superstep()
@@ -328,7 +362,6 @@ def run_superstep(
             derive_phases(cfg, metrics, in_mech, out_mech),
             disk_deltas,
         )
-    return metrics
 
 
 def _route_flows(

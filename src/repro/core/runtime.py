@@ -147,31 +147,63 @@ class Runtime:
         #: by purpose; the mode executors clear them in place each
         #: superstep instead of reallocating — see modes/common.py.
         self.scratch: dict = {}
-        #: for uniform-message programs on push-capable modes: vertex id
-        #: -> ((dst_worker, (dst, dst, ...)), ...), the out-neighbors
-        #: grouped by owning worker.  The batched executor stages one
-        #: (dsts, payload) group per (vertex, worker) pair instead of one
-        #: (dst, payload) tuple per edge.  None when not applicable.
-        self.push_fanout: Optional[List[tuple]] = None
-        if program.uniform_messages and self.needs_adjacency():
-            owner_of = self.owner_of
-            fanout: List[tuple] = []
-            for v in range(graph.num_vertices):
-                groups: dict = {}
-                for dst, _w in graph.out_edges(v):
-                    wid = owner_of[dst]
-                    if wid in groups:
-                        groups[wid].append(dst)
-                    else:
-                        groups[wid] = [dst]
-                fanout.append(
-                    tuple(
-                        (wid, tuple(dsts))
-                        for wid, dsts in sorted(groups.items())
-                    )
-                )
-            self.push_fanout = fanout
+        # per-vertex push fan-out is O(E) to build; defer it to first
+        # access (see the push_fanout property) so jobs that never take
+        # the batched uniform-push path — b-pull jobs, vectorized jobs —
+        # skip the cost entirely.
+        self._push_fanout: Optional[List[tuple]] = None
+        self._push_fanout_built = False
+        #: executor actually driving supersteps.  ``"vectorized"`` jobs
+        #: that cannot run dense (no NumPy, program without dense rules,
+        #: scalar-only feature in play, ...) transparently downgrade to
+        #: ``"batched"``; the reason is kept for observability but is
+        #: deliberately NOT part of JobMetrics — the byte-identity oracle
+        #: compares executors on the same payload.
+        self.active_executor: str = config.executor
+        self.executor_fallback: Optional[str] = None
+        if config.executor == "vectorized":
+            # imported lazily: modes.common imports this module, and
+            # modes.vectorized imports modes.common.
+            from repro.core.modes.vectorized import fallback_reason
+
+            reason = fallback_reason(program, config)
+            if reason is not None:
+                self.active_executor = "batched"
+                self.executor_fallback = reason
         self._init_state()
+
+    @property
+    def push_fanout(self) -> Optional[List[tuple]]:
+        """For uniform-message programs on push-capable modes: vertex id
+        -> ((dst_worker, (dst, dst, ...)), ...), the out-neighbors
+        grouped by owning worker.  The batched executor stages one
+        (dsts, payload) group per (vertex, worker) pair instead of one
+        (dst, payload) tuple per edge.  None when not applicable; built
+        lazily on first access and cached for the job's lifetime (the
+        graph is immutable once a Runtime holds it).
+        """
+        if not self._push_fanout_built:
+            self._push_fanout_built = True
+            if self.program.uniform_messages and self.needs_adjacency():
+                owner_of = self.owner_of
+                graph = self.graph
+                fanout: List[tuple] = []
+                for v in range(graph.num_vertices):
+                    groups: dict = {}
+                    for dst, _w in graph.out_edges(v):
+                        wid = owner_of[dst]
+                        if wid in groups:
+                            groups[wid].append(dst)
+                        else:
+                            groups[wid] = [dst]
+                    fanout.append(
+                        tuple(
+                            (wid, tuple(dsts))
+                            for wid, dsts in sorted(groups.items())
+                        )
+                    )
+                self._push_fanout = fanout
+        return self._push_fanout
 
     # ------------------------------------------------------------------
     def _init_state(self) -> None:
@@ -186,6 +218,9 @@ class Runtime:
     def reset_for_restart(self) -> None:
         """Recompute-from-scratch recovery: drop all iteration state."""
         self._init_state()
+        # executor scratch (inbox buffers, cached dense state) refers to
+        # the discarded value/store objects — drop it wholesale.
+        self.scratch.clear()
         # discard traffic samples of the thrown-away supersteps so the
         # Fig. 18 timeline only reflects work that counts.
         self.network.clear_timeline()
@@ -284,6 +319,16 @@ class Runtime:
             hot = self._hot_vertices(worker)
             return OnlineMessageStore(
                 hot, cfg.sizes, worker.disk, self.program.combine
+            )
+        if self.active_executor == "vectorized":
+            # receiver_combine falls back to batched before we get here,
+            # so the array store never needs a combine function.
+            from repro.core.modes.vectorized import VectorizedMessageStore
+
+            return VectorizedMessageStore(
+                capacity=cfg.message_buffer_per_worker,
+                sizes=cfg.sizes,
+                disk=worker.disk,
             )
         combine = (
             self.program.combine

@@ -1,0 +1,64 @@
+"""Boundary cases for sender-side combining within the send threshold.
+
+``_combine_within_threshold`` models pushM+com's limitation (Appendix E):
+combining only reaches messages that share a destination *within one
+send buffer*, so the threshold size decides how much combining actually
+happens.  These tests pin the boundary behaviour: a threshold smaller
+than one message record, a flush landing exactly at capacity, and
+same-destination messages straddling a flush.
+"""
+
+from repro.core.modes.common import _combine_within_threshold
+
+ADD = lambda a, b: a + b  # noqa: E731
+
+
+def combine(messages, threshold_bytes, message_bytes=10):
+    return _combine_within_threshold(
+        list(messages), ADD, message_bytes, threshold_bytes
+    )
+
+
+class TestCombineWithinThreshold:
+    def test_threshold_smaller_than_one_record(self):
+        # capacity clamps to one message: every message flushes alone,
+        # so no combining at all — but nothing is lost either.
+        messages = [(3, 1.0), (3, 2.0), (1, 4.0), (3, 8.0)]
+        assert combine(messages, threshold_bytes=4) == messages
+
+    def test_zero_threshold_clamps_to_one(self):
+        assert combine([(0, 1.0), (0, 2.0)], threshold_bytes=0) == [
+            (0, 1.0), (0, 2.0),
+        ]
+
+    def test_flush_exactly_at_capacity(self):
+        # threshold fits exactly two distinct destinations; the second
+        # distinct dst triggers the flush immediately, sorted by vertex.
+        messages = [(5, 1.0), (2, 2.0), (5, 4.0)]
+        assert combine(messages, threshold_bytes=20) == [
+            (2, 2.0), (5, 1.0), (5, 4.0),
+        ]
+
+    def test_same_destination_straddles_flush(self):
+        # dst 7's first two copies combine, the flush intervenes, and
+        # the post-flush copy ships uncombined — Appendix E's effect.
+        messages = [(7, 1.0), (7, 2.0), (4, 8.0), (7, 16.0)]
+        assert combine(messages, threshold_bytes=20) == [
+            (4, 8.0), (7, 3.0), (7, 16.0),
+        ]
+
+    def test_duplicates_within_buffer_do_not_advance_capacity(self):
+        # buffer occupancy counts distinct destinations, not messages:
+        # four copies of dst 1 still fit one slot and fully combine.
+        messages = [(1, 1.0), (1, 2.0), (1, 4.0), (1, 8.0), (2, 16.0)]
+        assert combine(messages, threshold_bytes=20) == [
+            (1, 15.0), (2, 16.0),
+        ]
+
+    def test_large_threshold_combines_everything(self):
+        messages = [(i % 3, float(i)) for i in range(12)]
+        assert combine(messages, threshold_bytes=10_000) == [
+            (0, 0.0 + 3 + 6 + 9),
+            (1, 1.0 + 4 + 7 + 10),
+            (2, 2.0 + 5 + 8 + 11),
+        ]

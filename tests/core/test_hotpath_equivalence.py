@@ -1,10 +1,16 @@
-"""Equivalence guard: batched executor vs per-vertex reference executor.
+"""Equivalence guard: all executors must agree byte-for-byte.
 
 The batched hot path (aggregated ``SimulatedDisk.charge`` calls, bitset
-flags, per-destination-worker staging, fan-out deposits) must produce
+flags, per-destination-worker staging, fan-out deposits) and the
+NumPy-vectorized executor (CSR kernels, dense folds) must both produce
 **byte-identical** modeled metrics to the pre-optimization executor in
 ``repro.core.modes.reference``.  These tests run the same jobs through
-both and compare the full ``JobMetrics.to_dict()`` dumps.
+all three and compare the full ``JobMetrics.to_dict()`` dumps.
+
+The vectorized executor transparently falls back to batched when NumPy
+is unavailable or the job shape is scalar-only (LPA, pushM, combining
+variants, ...), so every cell below is valid on a NumPy-less
+interpreter too — there it degenerates to the two-executor check.
 """
 
 import json
@@ -14,6 +20,7 @@ import pytest
 from repro.algorithms.lpa import LPA
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WCC
 from repro.core.config import JobConfig
 from repro.core.engine import run_job
 from repro.datasets.generators import random_graph
@@ -21,79 +28,99 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.messages import SpillingMessageStore
 from repro.storage.records import DEFAULT_SIZES
 
+EXECUTORS = ("batched", "reference", "vectorized")
 
-def run_both(graph, program_factory, **cfg_kwargs):
-    results = {}
-    for executor in ("batched", "reference"):
+
+def run_all(graph, program_factory, **cfg_kwargs):
+    results = []
+    for executor in EXECUTORS:
         cfg = JobConfig(executor=executor, **cfg_kwargs)
-        results[executor] = run_job(graph, program_factory(), cfg)
-    return results["batched"], results["reference"]
+        results.append(run_job(graph, program_factory(), cfg))
+    return results
 
 
-def assert_identical(batched, reference):
-    a = batched.metrics.to_dict()
-    b = reference.metrics.to_dict()
-    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
-    assert batched.values == reference.values
+def assert_identical(results):
+    reference = results[0]
+    expected = json.dumps(reference.metrics.to_dict(), sort_keys=True)
+    for other in results[1:]:
+        actual = json.dumps(other.metrics.to_dict(), sort_keys=True)
+        assert actual == expected
+        assert other.values == reference.values
 
 
 class TestExecutorEquivalence:
     @pytest.mark.parametrize("mode", ["push", "bpull", "hybrid"])
     @pytest.mark.parametrize(
         "program_factory",
-        [PageRank, lambda: SSSP(source=0), LPA],
-        ids=["pagerank", "sssp", "lpa"],
+        [PageRank, lambda: SSSP(source=0), LPA, WCC],
+        ids=["pagerank", "sssp", "lpa", "wcc"],
     )
     def test_metrics_identical_disk_resident(self, mode, program_factory):
         g = random_graph(300, 6, seed=42)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, program_factory, mode=mode, num_workers=4,
             message_buffer_per_worker=100, max_supersteps=6,
+        ))
+
+    def test_metrics_identical_hybrid_switch_supersteps(self):
+        # Run to convergence so hybrid switches both ways; the executors
+        # must agree on the mode trace (structurally identical runs)
+        # including the two mixed-mechanism switch supersteps.
+        g = random_graph(300, 6, seed=42)
+        results = run_all(
+            g, lambda: SSSP(source=0), mode="hybrid", num_workers=4,
+            message_buffer_per_worker=100,
         )
-        assert_identical(batched, reference)
+        assert_identical(results)
+        trace = [s.mode for s in results[0].metrics.supersteps]
+        assert "push->bpull" in trace
+        assert "bpull->push" in trace
 
     def test_metrics_identical_memory_sufficient(self):
         g = random_graph(200, 5, seed=9)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, PageRank, mode="push", num_workers=3,
             graph_on_disk=False, max_supersteps=5,
-        )
-        assert_identical(batched, reference)
+        ))
 
     def test_metrics_identical_pushm(self):
         g = random_graph(200, 5, seed=9)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, PageRank, mode="pushm", num_workers=3,
             message_buffer_per_worker=60, max_supersteps=5,
-        )
-        assert_identical(batched, reference)
+        ))
 
     def test_metrics_identical_with_receiver_combine(self):
         g = random_graph(200, 5, seed=17)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, PageRank, mode="push", num_workers=3,
             message_buffer_per_worker=50, receiver_combine=True,
             max_supersteps=5,
-        )
-        assert_identical(batched, reference)
+        ))
 
     def test_metrics_identical_with_sender_combine(self):
         g = random_graph(200, 5, seed=17)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, PageRank, mode="push", num_workers=3,
             message_buffer_per_worker=50, sender_combine=True,
             max_supersteps=5,
-        )
-        assert_identical(batched, reference)
+        ))
 
     def test_metrics_identical_hash_partition(self):
         g = random_graph(250, 5, seed=23)
-        batched, reference = run_both(
+        assert_identical(run_all(
             g, PageRank, mode="hybrid", num_workers=4,
             partition="hash", message_buffer_per_worker=80,
             max_supersteps=6,
-        )
-        assert_identical(batched, reference)
+        ))
+
+    def test_metrics_identical_with_tolerance_aggregator(self):
+        g = random_graph(250, 5, seed=23)
+        assert_identical(run_all(
+            g, lambda: PageRank(tolerance=1e-4), mode="hybrid",
+            num_workers=4, message_buffer_per_worker=100,
+            max_supersteps=20,
+        ))
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="executor"):
