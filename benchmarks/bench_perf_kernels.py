@@ -26,7 +26,7 @@ import time
 
 import pytest
 
-from conftest import QUICK, emit, once
+from conftest import QUICK, emit, generated_graph, once
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.sssp import SSSP
 from repro.analysis.reporting import format_table
@@ -54,7 +54,9 @@ SCALE_SUPERSTEPS = 5
 
 
 def _graph():
-    return social_graph(NUM_VERTICES, avg_degree=AVG_DEGREE, seed=11)
+    return generated_graph(
+        social_graph, NUM_VERTICES, avg_degree=AVG_DEGREE, seed=11
+    )
 
 
 def _time_job(graph, program_factory, cfg):
@@ -114,8 +116,8 @@ def run_scale_cell():
     """1M-vertex vectorized-only cell; returns its record (or None)."""
     if QUICK:
         return None
-    graph = social_graph(
-        SCALE_VERTICES, avg_degree=SCALE_DEGREE, seed=7
+    graph = generated_graph(
+        social_graph, SCALE_VERTICES, avg_degree=SCALE_DEGREE, seed=7
     )
     cfg = JobConfig(
         executor="vectorized", mode="push", num_workers=NUM_WORKERS,

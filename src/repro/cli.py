@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cluster", choices=("local", "amazon"),
                         default="local",
                         help="hardware profile (Table 3): HDD or SSD")
+    parser.add_argument("--executor",
+                        choices=("batched", "reference", "vectorized"),
+                        default="batched",
+                        help="superstep executor tier (all byte-identical)")
+    parser.add_argument("--parallelism", type=int, default=1, metavar="N",
+                        help="OS processes running each superstep's "
+                             "per-worker phases (default 1 = in-process)")
     parser.add_argument("--in-memory", action="store_true",
                         help="sufficient-memory scenario (no disk charges)")
     parser.add_argument("--trace", action="store_true",
@@ -124,6 +131,8 @@ def main(argv: Optional[list] = None) -> int:
         vblocks_per_worker=vblocks,
         cluster=AMAZON_CLUSTER if args.cluster == "amazon" else LOCAL_CLUSTER,
         max_supersteps=args.supersteps,
+        executor=args.executor,
+        parallelism=args.parallelism,
         trace=trace,
     )
     program = _make_program(args)
@@ -134,6 +143,16 @@ def main(argv: Optional[list] = None) -> int:
           f"|E|={graph.num_edges:,}")
     print(f"program    : {program.name}   mode: {metrics.mode}   "
           f"workers: {workers}   cluster: {config.cluster.name}")
+    rt = result.runtime
+    if config.executor != "batched" or config.parallelism > 1:
+        print(f"executor   : {rt.active_executor}   "
+              f"parallelism: {rt.active_parallelism}")
+    if metrics.fallback is not None:
+        fb = metrics.fallback
+        print(f"fallback   : requested {fb['requested_executor']}"
+              f"/p={fb['requested_parallelism']}, running "
+              f"{fb['active_executor']}/p={fb['active_parallelism']} "
+              f"({fb['reason']})")
     print(f"supersteps : {metrics.num_supersteps}")
     print(f"runtime    : {fmt_seconds(metrics.runtime_seconds)} "
           f"(load {fmt_seconds(metrics.load.elapsed_seconds)})")

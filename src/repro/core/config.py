@@ -159,6 +159,18 @@ class JobConfig:
     #: produce byte-identical :class:`JobMetrics` — the equivalence
     #: tests run every job through all of them.
     executor: str = "batched"
+    #: number of OS processes executing each superstep's per-worker
+    #: halves concurrently (:mod:`repro.core.modes.parallel`).
+    #: Orthogonal to ``executor``: both the batched and vectorized tiers
+    #: can run their per-worker phases across a persistent process pool;
+    #: the coordinator folds the per-process shards in fixed worker-id
+    #: order, so metrics stay byte-identical to ``parallelism=1``.
+    #: Values above ``num_workers`` are clamped; job shapes without a
+    #: parallel path (reference executor, pull/pushm, asynchronous
+    #: iteration, platforms without ``fork``/``shared_memory``) fall
+    #: back to in-process execution with the reason recorded in
+    #: ``Runtime.executor_fallback``.
+    parallelism: int = 1
     #: snapshot the iteration state every N supersteps and recover from
     #: the latest snapshot instead of recomputing from scratch — the
     #: lightweight fault tolerance the paper leaves as future work
@@ -193,6 +205,11 @@ class JobConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected "
                 "'batched', 'reference', or 'vectorized'"
+            )
+        if not isinstance(self.parallelism, int) or self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be an integer >= 1, got "
+                f"{self.parallelism!r}"
             )
 
     # Convenience -------------------------------------------------------

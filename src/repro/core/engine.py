@@ -32,6 +32,7 @@ from repro.core.config import JobConfig
 from repro.core.graph import Graph
 from repro.core.metrics import JobMetrics
 from repro.core.modes.common import run_superstep
+from repro.core.modes.parallel import run_superstep_parallel
 from repro.core.modes.pull import run_pull_superstep
 from repro.core.modes.reference import run_superstep_reference
 from repro.core.modes.vectorized import run_superstep_vectorized
@@ -100,6 +101,14 @@ def run_job(
         num_workers=config.num_workers,
         load=rt.load_metrics,
     )
+    if rt.executor_fallback is not None:
+        metrics.fallback = {
+            "requested_executor": config.executor,
+            "active_executor": rt.active_executor,
+            "requested_parallelism": config.parallelism,
+            "active_parallelism": rt.active_parallelism,
+            "reason": rt.executor_fallback,
+        }
 
     if config.mode == "hybrid":
         controller: Any = HybridController(
@@ -115,53 +124,60 @@ def run_job(
     start_superstep = 0
     prev_mode: Optional[str] = None
     latest_checkpoint: List[Any] = [None]
-    while True:
-        try:
-            _iterate(rt, controller, metrics, injector, start_superstep,
-                     prev_mode, latest_checkpoint)
-            break
-        except WorkerFailure as failure:
-            restarts += 1
-            if restarts > _MAX_RESTARTS:
-                raise
-            if tracer.enabled:
-                tracer.instant(
-                    "fault", cat=CAT_ENGINE, superstep=failure.superstep,
-                    worker=failure.worker, args={"restarts": restarts},
-                )
-            checkpoint = latest_checkpoint[0]
-            if checkpoint is not None:
-                # lightweight recovery: resume after the snapshot
-                controller = restore_checkpoint(rt, checkpoint)
-                _rewind_metrics(metrics, checkpoint.superstep)
-                start_superstep = checkpoint.superstep
-                prev_mode = checkpoint.prev_mode
-                metrics.recovered_from = checkpoint.superstep
+    try:
+        while True:
+            try:
+                _iterate(rt, controller, metrics, injector, start_superstep,
+                         prev_mode, latest_checkpoint)
+                break
+            except WorkerFailure as failure:
+                # the pool's processes hold pre-failure state; drop them
+                # before rewinding — the next parallel superstep re-forks
+                # from the restored coordinator.
+                rt.shutdown_pool()
+                restarts += 1
+                if restarts > _MAX_RESTARTS:
+                    raise
                 if tracer.enabled:
                     tracer.instant(
-                        "restart", cat=CAT_ENGINE,
-                        superstep=checkpoint.superstep,
-                        args={"policy": "checkpoint",
-                              "resume_after": checkpoint.superstep},
+                        "fault", cat=CAT_ENGINE, superstep=failure.superstep,
+                        worker=failure.worker, args={"restarts": restarts},
                     )
-            else:
-                # the paper's policy: recompute from scratch
-                rt.reset_for_restart()
-                _reset_metrics(metrics)
-                start_superstep = 0
-                prev_mode = None
-                if tracer.enabled:
-                    tracer.instant(
-                        "restart", cat=CAT_ENGINE,
-                        args={"policy": "scratch"},
-                    )
-                if config.mode == "hybrid":
-                    controller = HybridController(
-                        rt,
-                        enabled=config.switching_enabled,
-                        interval=config.switching_interval,
-                        deadband=config.switching_deadband,
-                    )
+                checkpoint = latest_checkpoint[0]
+                if checkpoint is not None:
+                    # lightweight recovery: resume after the snapshot
+                    controller = restore_checkpoint(rt, checkpoint)
+                    _rewind_metrics(metrics, checkpoint.superstep)
+                    start_superstep = checkpoint.superstep
+                    prev_mode = checkpoint.prev_mode
+                    metrics.recovered_from = checkpoint.superstep
+                    if tracer.enabled:
+                        tracer.instant(
+                            "restart", cat=CAT_ENGINE,
+                            superstep=checkpoint.superstep,
+                            args={"policy": "checkpoint",
+                                  "resume_after": checkpoint.superstep},
+                        )
+                else:
+                    # the paper's policy: recompute from scratch
+                    rt.reset_for_restart()
+                    _reset_metrics(metrics)
+                    start_superstep = 0
+                    prev_mode = None
+                    if tracer.enabled:
+                        tracer.instant(
+                            "restart", cat=CAT_ENGINE,
+                            args={"policy": "scratch"},
+                        )
+                    if config.mode == "hybrid":
+                        controller = HybridController(
+                            rt,
+                            enabled=config.switching_enabled,
+                            interval=config.switching_interval,
+                            deadband=config.switching_deadband,
+                        )
+    finally:
+        rt.shutdown_pool()
     metrics.restarts = restarts
     if isinstance(controller, HybridController):
         metrics.q_trace = [q for _t, q in controller.q_trace]
@@ -215,6 +231,10 @@ def _iterate(
     tracer = rt.tracer
     if config.executor == "reference":
         superstep_fn = run_superstep_reference
+    elif rt.active_parallelism > 1:
+        # branches on rt.active_executor internally: both the batched
+        # and vectorized tiers run their per-worker phases on the pool.
+        superstep_fn = run_superstep_parallel
     elif rt.active_executor == "vectorized":
         # active_executor, not config.executor: the runtime may have
         # downgraded a vectorized request to batched (see Runtime).

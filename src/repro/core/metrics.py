@@ -116,6 +116,13 @@ class JobMetrics:
     #: supersteps actually executed, including work discarded by
     #: failures — compare with num_supersteps to see recovery waste.
     executed_supersteps: int = 0
+    #: set only when the runtime downgraded the requested executor tier
+    #: or parallelism: ``{"requested_executor", "active_executor",
+    #: "requested_parallelism", "active_parallelism", "reason"}``.  None
+    #: on a non-degraded run — and then absent from :meth:`to_dict`, so
+    #: runs that differ only in the *requested* tier stay byte-identical
+    #: (the cross-executor equivalence contract).
+    fallback: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -173,7 +180,7 @@ class JobMetrics:
         ``json.loads(m.to_json()) == m.to_dict()`` holds exactly — the
         round-trip test and the executor-equivalence guard depend on it.
         """
-        return {
+        out = {
             "mode": self.mode,
             "graph": self.graph_name,
             "program": self.program_name,
@@ -229,6 +236,9 @@ class JobMetrics:
                 for s in self.supersteps
             ],
         }
+        if self.fallback is not None:
+            out["fallback"] = dict(self.fallback)
+        return out
 
     def to_json(self, **dumps_kwargs) -> str:
         """``to_dict`` serialised with :func:`json.dumps`."""

@@ -53,6 +53,8 @@ __all__ = [
     "run_superstep",
     "bpull_gather",
     "finalize_superstep_metrics",
+    "phase2_for_worker",
+    "collect_triple",
 ]
 
 #: shared immutable empty inbox for vertices without messages.
@@ -167,19 +169,12 @@ def run_superstep(
     # Phase 2: update vertices; stage outgoing messages if pushing.
     # ------------------------------------------------------------------
     staged = _staged_flows(rt)
-    values = rt.values
-    resp_raw = rt.resp_next.data
-    owner_of = rt.owner_of
-    update = program.update
-    aggregate = program.aggregate
-    message_value = program.message_value
     uniform = program.uniform_messages
     # uniform programs stage (dsts, payload) fan-out groups instead of
     # one (dst, payload) pair per edge; see Runtime.push_fanout.
     fanout = rt.push_fanout if (uniform and pushing) else None
     aggregates = metrics.aggregates
     vertex_record = sizes.vertex_record
-    edge_record = sizes.edge
 
     for worker in rt.workers:
         wid = worker.worker_id
@@ -189,73 +184,13 @@ def run_superstep(
             metrics.io_message_read += result.spilled_read
             spill_read_of[wid] = result.spilled_count
         msgs = inbox.get(wid) or {}
-        if superstep == 1:
-            # initially-active vertices, plus any that already received
-            # messages (possible under asynchronous delivery).
-            initial = {
-                v
-                for v in worker.vertices
-                if program.initially_active(v, rt.ctx)
-            }
-            targets: List[int] = sorted(initial | set(msgs.keys()))
-        elif program.all_active:
-            targets = worker.vertices
-        else:
-            targets = sorted(msgs.keys())
-
         flows = staged[wid]
-        flow_append = [bucket.append for bucket in flows]
-        msgs_get = msgs.get
-        adjacency = worker.adjacency
-        read_out_edges = adjacency.read_out_edges if adjacency else None
-        n_respond = 0
-        raw_staged = 0
-        edges_scanned = 0
-        edge_bytes = 0
-        for vid in targets:
-            old_value = values[vid]
-            result = update(
-                vid, old_value, msgs_get(vid, _NO_MESSAGES), ctx
+        targets, n_respond, raw_staged, edges_scanned, edge_bytes = (
+            phase2_for_worker(
+                rt, worker, superstep, msgs, pushing, fanout, flows,
+                aggregates=aggregates,
             )
-            new_value = result.value
-            values[vid] = new_value
-            respond = result.respond
-            if respond:
-                resp_raw[vid] = 1
-                n_respond += 1
-            contribution = aggregate(vid, old_value, new_value, ctx)
-            if contribution:
-                for agg_key, agg_val in contribution.items():
-                    aggregates[agg_key] = (
-                        aggregates.get(agg_key, 0.0) + agg_val
-                    )
-            if pushing and respond:
-                if read_out_edges is None:
-                    raise RuntimeError(
-                        "push output requires an adjacency store"
-                    )
-                edges, charged = read_out_edges(vid)
-                if charged:
-                    edges_scanned += charged // edge_record
-                    edge_bytes += charged
-                if fanout is not None:
-                    if edges:
-                        payload = message_value(
-                            vid, new_value, edges[0][0], edges[0][1], ctx
-                        )
-                        if payload is not None:
-                            for dst_wid, dsts in fanout[vid]:
-                                flow_append[dst_wid]((dsts, payload))
-                            raw_staged += len(edges)
-                else:
-                    for dst, weight in edges:
-                        payload = message_value(
-                            vid, new_value, dst, weight, ctx
-                        )
-                        if payload is None:
-                            continue
-                        flow_append[owner_of[dst]]((dst, payload))
-                        raw_staged += 1
+        )
         rt.resp_next.add_to_count(n_respond)
         updates_of[wid] = len(targets)
         msgs_gen_of[wid] += raw_staged
@@ -263,14 +198,8 @@ def run_superstep(
         edges_of[wid] += edges_scanned
         metrics.edges_scanned += edges_scanned
         metrics.io_edges_push += edge_bytes
-        # IO(V_t): every updated vertex record is read and rewritten —
-        # one aggregated charge per worker per superstep.
         if targets:
-            record_bytes = len(targets) * vertex_record
-            worker.disk.charge(
-                seq_read=record_bytes, seq_write=record_bytes
-            )
-            metrics.io_vertex += 2 * record_bytes
+            metrics.io_vertex += 2 * len(targets) * vertex_record
         if async_mode:
             _route_flows(rt, wid, flows, metrics, fanout is not None)
 
@@ -291,6 +220,124 @@ def run_superstep(
         updates_of, msgs_gen_of, edges_of, spill_read_of, pull_memory_of,
     )
     return metrics
+
+
+def phase2_for_worker(
+    rt: Runtime,
+    worker,
+    superstep: int,
+    msgs: Dict[int, List[Any]],
+    pushing: bool,
+    fanout,
+    flows: List[List[Any]],
+    aggregates: Dict[str, float] = None,
+    agg_stream: List[Tuple[str, float]] = None,
+):
+    """Run ``update()`` (+``pushRes()`` staging) for one worker's targets.
+
+    This is the per-worker half of Phase 2, shared verbatim between the
+    sequential executor loop and the process-pool shards of
+    :mod:`repro.core.modes.parallel`.  It mutates only worker-owned
+    state — ``rt.values`` of owned vertices, the ``rt.resp_next``
+    *bytes* (the count is the caller's), the worker's disk/adjacency,
+    and the staged *flows* buckets.  Cross-worker folds stay with the
+    caller: aggregator contributions either fold inline into
+    *aggregates* (sequential) or append to *agg_stream* in emission
+    order so the coordinator can replay the identical left fold
+    (parallel shards).
+
+    Returns ``(targets, n_respond, raw_staged, edges_scanned,
+    edge_bytes)``.
+    """
+    program = rt.program
+    ctx = rt.ctx
+    values = rt.values
+    resp_raw = rt.resp_next.data
+    owner_of = rt.owner_of
+    update = program.update
+    aggregate = program.aggregate
+    message_value = program.message_value
+    sizes = rt.config.sizes
+    vertex_record = sizes.vertex_record
+    edge_record = sizes.edge
+
+    if superstep == 1:
+        # initially-active vertices, plus any that already received
+        # messages (possible under asynchronous delivery).
+        initial = {
+            v
+            for v in worker.vertices
+            if program.initially_active(v, ctx)
+        }
+        targets: List[int] = sorted(initial | set(msgs.keys()))
+    elif program.all_active:
+        targets = worker.vertices
+    else:
+        targets = sorted(msgs.keys())
+
+    flow_append = [bucket.append for bucket in flows]
+    msgs_get = msgs.get
+    adjacency = worker.adjacency
+    read_out_edges = adjacency.read_out_edges if adjacency else None
+    n_respond = 0
+    raw_staged = 0
+    edges_scanned = 0
+    edge_bytes = 0
+    for vid in targets:
+        old_value = values[vid]
+        result = update(
+            vid, old_value, msgs_get(vid, _NO_MESSAGES), ctx
+        )
+        new_value = result.value
+        values[vid] = new_value
+        respond = result.respond
+        if respond:
+            resp_raw[vid] = 1
+            n_respond += 1
+        contribution = aggregate(vid, old_value, new_value, ctx)
+        if contribution:
+            if agg_stream is None:
+                for agg_key, agg_val in contribution.items():
+                    aggregates[agg_key] = (
+                        aggregates.get(agg_key, 0.0) + agg_val
+                    )
+            else:
+                agg_stream.extend(contribution.items())
+        if pushing and respond:
+            if read_out_edges is None:
+                raise RuntimeError(
+                    "push output requires an adjacency store"
+                )
+            edges, charged = read_out_edges(vid)
+            if charged:
+                edges_scanned += charged // edge_record
+                edge_bytes += charged
+            if fanout is not None:
+                if edges:
+                    payload = message_value(
+                        vid, new_value, edges[0][0], edges[0][1], ctx
+                    )
+                    if payload is not None:
+                        for dst_wid, dsts in fanout[vid]:
+                            flow_append[dst_wid]((dsts, payload))
+                        raw_staged += len(edges)
+            else:
+                for dst, weight in edges:
+                    payload = message_value(
+                        vid, new_value, dst, weight, ctx
+                    )
+                    if payload is None:
+                        continue
+                    flow_append[owner_of[dst]]((dst, payload))
+                    raw_staged += 1
+    # IO(V_t): every updated vertex record is read and rewritten —
+    # one aggregated charge per worker per superstep.
+    if targets:
+        record_bytes = len(targets) * vertex_record
+        worker.disk.charge(
+            seq_read=record_bytes, seq_write=record_bytes
+        )
+    return targets, n_respond, raw_staged, edges_scanned, edge_bytes
 
 
 def finalize_superstep_metrics(
@@ -502,7 +549,6 @@ def bpull_gather(
     # responding vertex for the whole gather instead of recomputing it
     # for every fragment the vertex appears in.
     payload_of: Dict[int, Any] = {}
-    _missing = payload_of  # unique sentinel
 
     for worker in rt.workers:
         if worker.veblock is None:
@@ -521,96 +567,14 @@ def bpull_gather(
             for responder in rt.workers:
                 ry = responder.worker_id
                 rt.network.send_request(rx, ry)
-                fragments = responder.veblock.collect_for_request(
-                    block_id, flags
+                got = collect_triple(
+                    responder, block_id, flags, values, ctx,
+                    message_value, combine if combinable else None,
+                    uniform, payload_of, sizes,
                 )
-                if not fragments:
+                if got is None:
                     continue
-                nvalues = 0
-                if combinable:
-                    # Combine incrementally while filling the buffer —
-                    # the same left-to-right fold ``combine_all`` would
-                    # apply to the per-destination list, without
-                    # materialising the list.
-                    cbuffer: Dict[int, Any] = {}
-                    if uniform:
-                        for svertex, edges in fragments:
-                            payload = payload_of.get(svertex, _missing)
-                            if payload is _missing:
-                                payload = message_value(
-                                    svertex, values[svertex],
-                                    edges[0][0], edges[0][1], ctx,
-                                )
-                                payload_of[svertex] = payload
-                            if payload is None:
-                                continue
-                            for dst, _weight in edges:
-                                if dst in cbuffer:
-                                    cbuffer[dst] = combine(
-                                        cbuffer[dst], payload
-                                    )
-                                else:
-                                    cbuffer[dst] = payload
-                            nvalues += len(edges)
-                    else:
-                        for svertex, edges in fragments:
-                            svalue = values[svertex]
-                            for dst, weight in edges:
-                                payload = message_value(
-                                    svertex, svalue, dst, weight, ctx
-                                )
-                                if payload is None:
-                                    continue
-                                if dst in cbuffer:
-                                    cbuffer[dst] = combine(
-                                        cbuffer[dst], payload
-                                    )
-                                else:
-                                    cbuffer[dst] = payload
-                                nvalues += 1
-                    if not cbuffer:
-                        continue
-                    ngroups = len(cbuffer)
-                    nbytes = sizes.combined(ngroups)
-                    units = ngroups
-                else:
-                    buffer: Dict[int, List[Any]] = {}
-                    if uniform:
-                        for svertex, edges in fragments:
-                            payload = payload_of.get(svertex, _missing)
-                            if payload is _missing:
-                                payload = message_value(
-                                    svertex, values[svertex],
-                                    edges[0][0], edges[0][1], ctx,
-                                )
-                                payload_of[svertex] = payload
-                            if payload is None:
-                                continue
-                            for dst, _weight in edges:
-                                if dst in buffer:
-                                    buffer[dst].append(payload)
-                                else:
-                                    buffer[dst] = [payload]
-                            nvalues += len(edges)
-                    else:
-                        for svertex, edges in fragments:
-                            svalue = values[svertex]
-                            for dst, weight in edges:
-                                payload = message_value(
-                                    svertex, svalue, dst, weight, ctx
-                                )
-                                if payload is None:
-                                    continue
-                                if dst in buffer:
-                                    buffer[dst].append(payload)
-                                else:
-                                    buffer[dst] = [payload]
-                                nvalues += 1
-                    if not buffer:
-                        continue
-                    ngroups = len(buffer)
-                    nbytes = sizes.concatenated(nvalues, ngroups)
-                    units = nvalues
+                buffer, nvalues, ngroups, nbytes, units = got
                 metrics.raw_messages += nvalues
                 msgs_gen_of[ry] += nvalues
                 if nbytes > send_buffer_peak[ry]:
@@ -620,7 +584,7 @@ def bpull_gather(
                     metrics.mco += nvalues - ngroups
                 block_received += nbytes
                 if combinable:
-                    for dst, combined in sorted(cbuffer.items()):
+                    for dst, combined in sorted(buffer.items()):
                         if dst in local_inbox:
                             local_inbox[dst].append(combined)
                         else:
@@ -651,3 +615,119 @@ def bpull_gather(
             + send_buffer_peak[worker.worker_id]
         )
     return inbox
+
+
+#: unique sentinel for the pull-payload memo (None is a legal payload).
+_MISSING = object()
+
+
+def collect_triple(
+    responder,
+    block_id: int,
+    flags,
+    values: List[Any],
+    ctx,
+    message_value,
+    combine,
+    uniform: bool,
+    payload_of: Dict[int, Any],
+    sizes,
+):
+    """Pull-Respond for one (requested Vblock, responder) pair.
+
+    The per-triple half of :func:`bpull_gather`, shared verbatim with
+    the process-pool shards of :mod:`repro.core.modes.parallel`: scans
+    the responder's matching Eblocks (charging its disk), builds the
+    per-destination send buffer, and sizes the transfer.  *combine* is
+    the program's combiner or None for concatenation-only programs;
+    *payload_of* memoizes uniform payloads per source vertex across the
+    whole gather (each source belongs to exactly one responder, so
+    per-responder shards see the same memo hits the sequential loop
+    does).
+
+    Returns None when the responder contributes nothing, else
+    ``(buffer, nvalues, ngroups, nbytes, units)`` where *buffer* maps
+    ``dst -> combined value`` (combining) or ``dst -> [payloads]``
+    (concatenation).
+    """
+    fragments = responder.veblock.collect_for_request(block_id, flags)
+    if not fragments:
+        return None
+    nvalues = 0
+    if combine is not None:
+        # Combine incrementally while filling the buffer — the same
+        # left-to-right fold ``combine_all`` would apply to the
+        # per-destination list, without materialising the list.
+        cbuffer: Dict[int, Any] = {}
+        if uniform:
+            for svertex, edges in fragments:
+                payload = payload_of.get(svertex, _MISSING)
+                if payload is _MISSING:
+                    payload = message_value(
+                        svertex, values[svertex],
+                        edges[0][0], edges[0][1], ctx,
+                    )
+                    payload_of[svertex] = payload
+                if payload is None:
+                    continue
+                for dst, _weight in edges:
+                    if dst in cbuffer:
+                        cbuffer[dst] = combine(cbuffer[dst], payload)
+                    else:
+                        cbuffer[dst] = payload
+                nvalues += len(edges)
+        else:
+            for svertex, edges in fragments:
+                svalue = values[svertex]
+                for dst, weight in edges:
+                    payload = message_value(
+                        svertex, svalue, dst, weight, ctx
+                    )
+                    if payload is None:
+                        continue
+                    if dst in cbuffer:
+                        cbuffer[dst] = combine(cbuffer[dst], payload)
+                    else:
+                        cbuffer[dst] = payload
+                    nvalues += 1
+        if not cbuffer:
+            return None
+        ngroups = len(cbuffer)
+        return cbuffer, nvalues, ngroups, sizes.combined(ngroups), ngroups
+    buffer: Dict[int, List[Any]] = {}
+    if uniform:
+        for svertex, edges in fragments:
+            payload = payload_of.get(svertex, _MISSING)
+            if payload is _MISSING:
+                payload = message_value(
+                    svertex, values[svertex],
+                    edges[0][0], edges[0][1], ctx,
+                )
+                payload_of[svertex] = payload
+            if payload is None:
+                continue
+            for dst, _weight in edges:
+                if dst in buffer:
+                    buffer[dst].append(payload)
+                else:
+                    buffer[dst] = [payload]
+            nvalues += len(edges)
+    else:
+        for svertex, edges in fragments:
+            svalue = values[svertex]
+            for dst, weight in edges:
+                payload = message_value(
+                    svertex, svalue, dst, weight, ctx
+                )
+                if payload is None:
+                    continue
+                if dst in buffer:
+                    buffer[dst].append(payload)
+                else:
+                    buffer[dst] = [payload]
+                nvalues += 1
+    if not buffer:
+        return None
+    ngroups = len(buffer)
+    nbytes = sizes.concatenated(nvalues, ngroups)
+    return buffer, nvalues, ngroups, nbytes, nvalues

@@ -1,0 +1,1039 @@
+"""Process-pool parallel runtime: true multi-core superstep execution.
+
+``JobConfig(parallelism=N)`` executes each superstep's per-worker halves
+— ``load()``/``update()``/``pushRes()``/``pullRes()`` — concurrently
+across N OS processes while keeping ``JobMetrics.to_dict()``
+**byte-identical** to the sequential executors (the same contract the
+batched/reference/vectorized equivalence suite enforces).  The design is
+coordinator-authoritative:
+
+* a persistent pool of warm worker processes is forked once per job (no
+  fork-per-superstep) and lives across supersteps; each child owns a
+  contiguous shard of the simulated workers and runs only the extracted
+  per-worker halves (:func:`~repro.core.modes.common.phase2_for_worker`,
+  :func:`~repro.core.modes.common.collect_triple`,
+  :func:`~repro.core.modes.vectorized.compute_worker_update`,
+  :func:`~repro.core.modes.vectorized.triple_contribution`) for the
+  workers it owns;
+* read-heavy state crosses process boundaries exactly once: the graph is
+  inherited copy-on-write by the fork, and for the vectorized tier the
+  CSR arrays from ``Graph.csr()``, the dense value array, and the
+  responding-flag bytes additionally live in
+  ``multiprocessing.shared_memory`` segments, so no graph data is ever
+  pickled per superstep (children write owned vertex values and flag
+  bytes in place — the byte ranges are disjoint under the ownership
+  discipline);
+* everything order-sensitive stays with the coordinator: message stores
+  (loads, deposits, spill charges), the simulated network (whose
+  per-flow dict insertion order feeds per-worker seconds), aggregator
+  folds, and metric assembly.  Children return per-destination-worker
+  message/flag deltas plus their metric shard, and the coordinator folds
+  them in **fixed worker-id order**, replaying transfers and deposits in
+  the exact sequential order — which is what makes combining order,
+  spill accounting, and float accumulation bit-for-bit identical.
+
+Shapes without a parallel path (the reference executor, ``pull``/
+``pushm`` modes, asynchronous iteration, platforms lacking ``fork`` or
+``shared_memory``) fall back to in-process execution with the reason
+recorded in ``Runtime.executor_fallback``; see
+:func:`parallel_fallback_reason`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.flags import FlagBitset
+from repro.core.metrics import SuperstepMetrics
+from repro.core.modes import vectorized as _vec
+from repro.core.modes.common import (
+    _pull_inbox,
+    _route_flows,
+    collect_triple,
+    finalize_superstep_metrics,
+    phase2_for_worker,
+)
+from repro.obs.events import CAT_PARALLEL
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = ["parallel_fallback_reason", "run_superstep_parallel"]
+
+
+def parallel_fallback_reason(rt) -> Optional[str]:
+    """Why this job cannot run parallel, or None when it can.
+
+    Decided once per job in ``Runtime.__init__`` (after the executor
+    downgrade, so a vectorized request that fell back to batched is
+    judged as batched).  A non-None reason keeps
+    ``active_parallelism == 1``.
+    """
+    config = rt.config
+    if config.executor == "reference":
+        return (
+            "parallelism requires the batched or vectorized executor"
+        )
+    if config.mode in ("pull", "pushm"):
+        return f"mode {config.mode!r} has no parallel path"
+    if config.asynchronous:
+        return (
+            "asynchronous iteration is inherently sequential "
+            "(intra-superstep message visibility)"
+        )
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "platform lacks the fork start method"
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return "multiprocessing.shared_memory is unavailable"
+    return None
+
+
+# ----------------------------------------------------------------------
+# child process side
+# ----------------------------------------------------------------------
+def _force_clear(flags: FlagBitset) -> None:
+    """Zero a child's private flag bytes regardless of its stale count.
+
+    Children flip flag bytes directly without maintaining the count
+    (only the coordinator's count is ever read), so ``clear()``'s
+    count-guard cannot be trusted on the child side.
+    """
+    flags.data[:] = bytes(len(flags.data))
+    flags._count = 0
+
+
+def _child_main(rt, shard: List[int], conn, shared: Dict[str, Any]) -> None:
+    """Entry point of one pool process (reached via fork).
+
+    The child inherits the coordinator's entire :class:`Runtime` at fork
+    time and keeps it alive across supersteps; per-round messages carry
+    only the state that changed (superstep number, aggregates, flag
+    broadcast, inbox shards).  It mutates exclusively worker-owned state
+    of its shard — owned vertex values, owned disks/adjacency/veblock
+    copies — and ships deltas back; everything else it touches is
+    read-only under the ownership discipline.
+    """
+    rt.tracer = NULL_TRACER  # children never observe
+    workers = [rt.workers[w] for w in shard]
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # coordinator died: don't linger
+            os._exit(0)
+        if msg[0] == "stop":
+            conn.close()
+            os._exit(0)
+        start = perf_counter()
+        try:
+            cmd = msg[0]
+            if cmd == "phase2":
+                reply = _child_phase2(rt, workers, *msg[1:])
+            elif cmd == "gather":
+                reply = _child_gather(rt, workers, *msg[1:])
+            elif cmd == "phase2_vec":
+                reply = _child_phase2_vec(
+                    rt, workers, shared, *msg[1:]
+                )
+            elif cmd == "gather_vec":
+                reply = _child_gather_vec(rt, workers, *msg[1:])
+            else:
+                raise RuntimeError(f"unknown pool command {cmd!r}")
+            conn.send(("ok", reply, perf_counter() - start))
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc(), 0.0))
+            except (BrokenPipeError, OSError):
+                os._exit(1)
+
+
+def _sync_ctx(rt, superstep: int, aggregates: Dict[str, float]) -> None:
+    """Bring the child's forked context up to the coordinator's."""
+    rt.ctx.superstep = superstep
+    rt.ctx.aggregates = aggregates
+
+
+def _child_phase2(
+    rt,
+    workers,
+    superstep: int,
+    aggregates: Dict[str, float],
+    pushing: bool,
+    inbox_shards: Dict[int, Dict[int, List[Any]]],
+) -> Dict[int, Dict[str, Any]]:
+    """Batched-tier Phase 2 for one shard of workers."""
+    _sync_ctx(rt, superstep, aggregates)
+    _force_clear(rt.resp_next)
+    resp_raw = rt.resp_next.data
+    values = rt.values
+    uniform = rt.program.uniform_messages
+    fanout = rt.push_fanout if (uniform and pushing) else None
+    num_workers = len(rt.workers)
+    reply: Dict[int, Dict[str, Any]] = {}
+    for worker in workers:
+        wid = worker.worker_id
+        if pushing and worker.adjacency is not None:
+            worker.adjacency.begin_superstep()
+        before = worker.disk.snapshot()
+        flows: List[List[Any]] = [[] for _ in range(num_workers)]
+        agg_stream: List[Tuple[str, float]] = []
+        targets, n_respond, raw_staged, edges_scanned, edge_bytes = (
+            phase2_for_worker(
+                rt, worker, superstep,
+                inbox_shards.get(wid) or {},
+                pushing, fanout, flows, agg_stream=agg_stream,
+            )
+        )
+        reply[wid] = {
+            "num_targets": len(targets),
+            "n_respond": n_respond,
+            # targets that responded, in target order (0->1 flips only,
+            # so the coordinator can replay the byte writes + count).
+            "resp_vids": [v for v in targets if resp_raw[v]],
+            # per-vertex value deltas; the child's owned values stay
+            # current locally, the coordinator's copy is authoritative
+            # for checkpoints and the final result.
+            "values": [(v, values[v]) for v in targets],
+            "agg_stream": agg_stream,
+            "raw_staged": raw_staged,
+            "edges_scanned": edges_scanned,
+            "edge_bytes": edge_bytes,
+            "disk": worker.disk.delta_since(before),
+            "flows": flows,
+        }
+    return reply
+
+
+def _child_gather(
+    rt,
+    workers,
+    superstep: int,
+    aggregates: Dict[str, float],
+    resp_bytes: bytes,
+) -> Dict[str, Any]:
+    """Batched-tier Pull-Respond scans for one shard of responders.
+
+    Triples are keyed ``(requester, block, responder)`` so the
+    coordinator can replay the canonical sequential triple order with
+    the per-triple results looked up; the child's own iteration order is
+    irrelevant to the metrics (it only charges order-independent sums on
+    its shard's disks and stats).
+    """
+    _sync_ctx(rt, superstep, aggregates)
+    flags = FlagBitset(len(resp_bytes))
+    flags.data[:] = resp_bytes
+    # the count drives refresh_res's degenerate-case shortcuts; bytes
+    # are 0/1 by the bitset discipline, so counting 1-bytes rebuilds it.
+    flags._count = resp_bytes.count(1)
+    for worker in workers:
+        worker.veblock.begin_superstep_stats()
+        worker.veblock.refresh_res(flags)
+    before = {w.worker_id: w.disk.snapshot() for w in workers}
+    program = rt.program
+    cfg = rt.config
+    combinable = program.combinable and cfg.bpull_combine
+    combine = program.combine if combinable else None
+    payload_of: Dict[int, Any] = {}
+    triples: Dict[Tuple[int, int, int], Any] = {}
+    for requester in rt.workers:
+        rx = requester.worker_id
+        for block_id in requester.veblock.local_blocks:
+            for responder in workers:
+                got = collect_triple(
+                    responder, block_id, flags, rt.values, rt.ctx,
+                    program.message_value, combine,
+                    program.uniform_messages, payload_of, cfg.sizes,
+                )
+                if got is None:
+                    continue
+                buffer, nvalues, ngroups, nbytes, units = got
+                # pre-sort here: the coordinator appends the pair's
+                # messages in ascending vertex order (the scalar
+                # sorted(buffer.items())).
+                triples[(rx, block_id, responder.worker_id)] = (
+                    sorted(buffer.items()),
+                    nvalues, ngroups, nbytes, units,
+                )
+    return {
+        "triples": triples,
+        "stats": {
+            w.worker_id: tuple(w.veblock.scan_stats) for w in workers
+        },
+        "disk": {
+            w.worker_id: w.disk.delta_since(before[w.worker_id])
+            for w in workers
+        },
+    }
+
+
+def _child_phase2_vec(
+    rt,
+    workers,
+    shared: Dict[str, Any],
+    superstep: int,
+    aggregates: Dict[str, float],
+    pushing: bool,
+    in_payload: Optional[Dict[int, Tuple[Any, Any]]],
+) -> Dict[int, Dict[str, Any]]:
+    """Vectorized-tier Phase 2 for one shard of workers.
+
+    Vertex values are written directly into the shared-memory dense
+    array (``state.values`` was rebound before the fork) and responding
+    flags into the shared ``resp_next`` byte segment — owned, disjoint
+    ranges only — so the reply carries no value payload at all.
+    """
+    _sync_ctx(rt, superstep, aggregates)
+    state = rt.scratch["vectorized"]
+    resp_view = shared["resp_next"]
+    reply: Dict[int, Dict[str, Any]] = {}
+    for worker in workers:
+        wid = worker.worker_id
+        before = worker.disk.snapshot()
+        pair = in_payload.get(wid) if in_payload else None
+        received_local, acc_local = pair if pair else (None, None)
+        shard = _vec.compute_worker_update(
+            rt, state, worker, superstep,
+            received_local, acc_local, pushing, resp_view,
+        )
+        shard["disk"] = worker.disk.delta_since(before)
+        reply[wid] = shard
+    return reply
+
+
+def _child_gather_vec(
+    rt,
+    workers,
+    superstep: int,
+    aggregates: Dict[str, float],
+    resp_bytes: bytes,
+) -> Dict[str, Any]:
+    """Vectorized-tier Pull-Respond scans for one shard of responders."""
+    np = _vec.np
+    _sync_ctx(rt, superstep, aggregates)
+    state = rt.scratch["vectorized"]
+    pull = state.ensure_pull(rt)
+    resp = np.frombuffer(resp_bytes, dtype=np.uint8)
+    resp_bool = resp.view(np.bool_)
+    block_res = np.fromiter(
+        (bool(resp[vids].any()) for vids in pull.block_vids),
+        dtype=bool, count=len(pull.block_vids),
+    )
+    payload_all = payload_valid = None
+    if rt.program.uniform_messages:
+        payload_all, payload_valid = state.rules.source_payloads(
+            rt.ctx, state.values, state.out_degrees, np
+        )
+    stats = {w.worker_id: [0, 0, 0, 0] for w in workers}
+    before = {w.worker_id: w.disk.snapshot() for w in workers}
+    triples: Dict[Tuple[int, int, int], Any] = {}
+    for requester in rt.workers:
+        rx = requester.worker_id
+        for block_id in requester.veblock.local_blocks:
+            block_vids = pull.block_vids[block_id]
+            block_size = len(block_vids)
+            for responder in workers:
+                ry = responder.worker_id
+                bundle = pull.by_dst[ry].get(block_id)
+                if bundle is None:
+                    continue
+                result = _vec.triple_contribution(
+                    rt, state, responder, bundle, block_size,
+                    block_res, resp_bool, payload_all, payload_valid,
+                    stats[ry],
+                )
+                if result is None:
+                    continue
+                nvalues, ngroups, nbytes, got, acc_block = result
+                # ship only the hit entries (vertex ids + combined
+                # values, already in ascending-position order).
+                triples[(rx, block_id, ry)] = (
+                    nvalues, ngroups, nbytes,
+                    block_vids[got], acc_block[got],
+                )
+    return {
+        "triples": triples,
+        "stats": {wid: tuple(s) for wid, s in stats.items()},
+        "disk": {
+            w.worker_id: w.disk.delta_since(before[w.worker_id])
+            for w in workers
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class _ParallelPool:
+    """Persistent fork-based worker pool, one pipe per process.
+
+    Created lazily at the first parallel superstep (so checkpoint
+    recovery re-forks from restored coordinator state) and kept warm
+    until the engine calls ``Runtime.shutdown_pool``.
+    """
+
+    def __init__(self, rt) -> None:
+        self.rt = rt
+        num_workers = len(rt.workers)
+        nprocs = min(rt.active_parallelism, num_workers)
+        base, extra = divmod(num_workers, nprocs)
+        self.shards: List[List[int]] = []
+        start = 0
+        for i in range(nprocs):
+            size = base + (1 if i < extra else 0)
+            self.shards.append(list(range(start, start + size)))
+            start += size
+        self._segments: List[Any] = []
+        self._restore_csr: Optional[Tuple[Any, Any]] = None
+        self.shared: Dict[str, Any] = {}
+        if rt.active_executor == "vectorized":
+            self._setup_shared_vectorized(rt)
+        elif rt.program.uniform_messages and rt.needs_adjacency():
+            rt.push_fanout  # build pre-fork; children inherit it
+        #: wall-clock observations of the current superstep's rounds:
+        #: [label, round_wall, per-process busy walls, merge_wall]
+        self.round_log: List[List[Any]] = []
+        ctx = multiprocessing.get_context("fork")
+        self.procs: List[Any] = []
+        self.conns: List[Any] = []
+        for shard in self.shards:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_child_main,
+                args=(rt, shard, child_conn, self.shared),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    def _shm_array(self, arr):
+        """Copy *arr* into a fresh shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        np = _vec.np
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes == 0:
+            return arr  # zero-size segments are not allowed; read-only
+        seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        self._segments.append(seg)
+        out = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        out[:] = arr
+        return out
+
+    def _setup_shared_vectorized(self, rt) -> None:
+        """Move CSR + values + flag bytes into shared memory, pre-fork.
+
+        Rebinding happens before the dense state is built so every view
+        the state derives (and the children inherit) reads the shared
+        segments; the original CSR view is restored on close because the
+        graph object outlives the job (benchmark runs share graphs
+        across cells).
+        """
+        from multiprocessing import shared_memory
+
+        from repro.core.graph import CSRView
+        from repro.core.modes.vectorized import _VecState
+
+        np = _vec.np
+        graph = rt.graph
+        original = graph.csr()
+        self._restore_csr = (graph, original)
+        graph._csr = CSRView(
+            self._shm_array(original.indptr),
+            self._shm_array(original.indices),
+            self._shm_array(original.weights),
+            self._shm_array(original.out_degrees),
+        )
+        # dense state must not pre-date the rebinding
+        rt.scratch.pop("vectorized", None)
+        state = _VecState(rt)
+        rt.scratch["vectorized"] = state
+        state.values = self._shm_array(state.values)
+        if rt.needs_veblock():
+            state.ensure_pull(rt)  # O(E) build once, inherited by fork
+        n = rt.graph.num_vertices
+        seg = shared_memory.SharedMemory(create=True, size=max(n, 1))
+        self._segments.append(seg)
+        view = np.ndarray((n,), dtype=np.uint8, buffer=seg.buf)
+        view[:] = 0
+        self.shared["resp_next"] = view
+
+    # ------------------------------------------------------------------
+    def run_round(self, label: str, messages: List[tuple]) -> List[Any]:
+        """One barrier round: send per-process messages, await replies."""
+        start = perf_counter()
+        for conn, msg in zip(self.conns, messages):
+            conn.send(msg)
+        replies: List[Any] = []
+        busy: List[float] = []
+        for conn in self.conns:
+            status, payload, wall = conn.recv()
+            if status == "err":
+                raise RuntimeError(
+                    f"parallel pool worker failed during {label}:\n"
+                    f"{payload}"
+                )
+            replies.append(payload)
+            busy.append(wall)
+        self.round_log.append(
+            [label, perf_counter() - start, busy, 0.0]
+        )
+        return replies
+
+    def note_merge(self, seconds: float) -> None:
+        """Attribute coordinator merge time to the last round."""
+        if self.round_log:
+            self.round_log[-1][3] = seconds
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self.conns:
+            conn.close()
+        rt = self.rt
+        # detach coordinator state from the shared segments before
+        # unlinking: the runtime (and the graph) outlive the pool.
+        state = rt.scratch.get("vectorized")
+        np = _vec.np
+        if state is not None and np is not None:
+            state.values = np.array(state.values, copy=True)
+            state.out_degrees = np.array(state.out_degrees, copy=True)
+        if self._restore_csr is not None:
+            graph, original = self._restore_csr
+            graph._csr = original
+            self._restore_csr = None
+        self.shared.clear()
+        for seg in self._segments:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+            try:
+                seg.close()
+            except BufferError:
+                # derived views (CSR slices cached in the dense state)
+                # still alias the mapping; the kernel reclaims it when
+                # they are collected — the name is already unlinked.
+                pass
+        self._segments = []
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+def run_superstep_parallel(
+    rt,
+    superstep: int,
+    in_mech: str,
+    out_mech: str,
+    mode_label: str,
+) -> SuperstepMetrics:
+    """Execute one BSP superstep across the process pool."""
+    if in_mech not in ("stored", "pull"):
+        raise ValueError(f"unknown input mechanism {in_mech!r}")
+    if out_mech not in ("push", "flag"):
+        raise ValueError(f"unknown output mechanism {out_mech!r}")
+    pool = rt._pool
+    if pool is None:
+        pool = _ParallelPool(rt)
+        rt._pool = pool
+    pool.round_log = []
+    if rt.active_executor == "vectorized":
+        metrics = _superstep_vectorized(
+            rt, pool, superstep, in_mech, out_mech, mode_label
+        )
+    else:
+        metrics = _superstep_batched(
+            rt, pool, superstep, in_mech, out_mech, mode_label
+        )
+    _emit_pool_spans(rt, pool, metrics)
+    return metrics
+
+
+def _superstep_batched(
+    rt, pool, superstep, in_mech, out_mech, mode_label
+) -> SuperstepMetrics:
+    """Coordinator for the batched tier: sequential ``run_superstep``
+    with Phase 2 (and the gather's triple scans) farmed to the pool."""
+    cfg = rt.config
+    sizes = cfg.sizes
+    ctx = rt.ctx
+    ctx.superstep = superstep
+    rt.network.begin_superstep(superstep)
+    metrics = SuperstepMetrics(superstep=superstep, mode=mode_label)
+
+    disk_before = {w.worker_id: w.disk.snapshot() for w in rt.workers}
+    spilled_before = {
+        w.worker_id: (
+            w.message_store.total_spilled if w.message_store else 0
+        )
+        for w in rt.workers
+    }
+    updates_of = {w.worker_id: 0 for w in rt.workers}
+    msgs_gen_of = {w.worker_id: 0 for w in rt.workers}
+    edges_of = {w.worker_id: 0 for w in rt.workers}
+    spill_read_of = {w.worker_id: 0 for w in rt.workers}
+    pull_memory_of = {w.worker_id: 0 for w in rt.workers}
+
+    pushing = out_mech == "push"
+    aggregates_now = dict(ctx.aggregates)
+
+    inbox: Dict[int, Dict[int, List[Any]]] = {}
+    if in_mech == "pull" and superstep > 1:
+        inbox = _parallel_gather_batched(
+            rt, pool, metrics, superstep, aggregates_now,
+            msgs_gen_of, edges_of, pull_memory_of,
+        )
+    elif in_mech == "stored":
+        for worker in rt.workers:
+            if worker.message_store is None:
+                raise RuntimeError(
+                    f"mode {mode_label} needs a message store on "
+                    f"worker {worker.worker_id}"
+                )
+            result = worker.message_store.load()
+            inbox[worker.worker_id] = result.messages
+            metrics.io_message_read += result.spilled_read
+            spill_read_of[worker.worker_id] = result.spilled_count
+
+    # Phase 2, one round across the pool.
+    replies = pool.run_round("phase2", [
+        (
+            "phase2", superstep, aggregates_now, pushing,
+            {wid: inbox.get(wid) or {} for wid in shard},
+        )
+        for shard in pool.shards
+    ])
+    merge_start = perf_counter()
+    merged: Dict[int, Dict[str, Any]] = {}
+    for reply in replies:
+        merged.update(reply)
+
+    # Deterministic merge: fixed worker-id order, replaying exactly the
+    # per-worker work the sequential loop interleaves.
+    aggregates = metrics.aggregates
+    resp_raw = rt.resp_next.data
+    values = rt.values
+    vertex_record = sizes.vertex_record
+    for wid in range(len(rt.workers)):
+        shard = merged[wid]
+        for vid, value in shard["values"]:
+            values[vid] = value
+        for vid in shard["resp_vids"]:
+            resp_raw[vid] = 1
+        rt.resp_next.add_to_count(shard["n_respond"])
+        for agg_key, agg_val in shard["agg_stream"]:
+            aggregates[agg_key] = (
+                aggregates.get(agg_key, 0.0) + agg_val
+            )
+        updates_of[wid] = shard["num_targets"]
+        msgs_gen_of[wid] += shard["raw_staged"]
+        metrics.raw_messages += shard["raw_staged"]
+        edges_of[wid] += shard["edges_scanned"]
+        metrics.edges_scanned += shard["edges_scanned"]
+        metrics.io_edges_push += shard["edge_bytes"]
+        if shard["num_targets"]:
+            metrics.io_vertex += (
+                2 * shard["num_targets"] * vertex_record
+            )
+        rt.workers[wid].disk.counters.add(shard["disk"])
+
+    # Phase 3: route staged flows in sequential (src, dst) order — the
+    # network's flow-creation order and the stores' deposit/spill order
+    # are both observable.
+    if pushing:
+        fanout_form = rt.program.uniform_messages
+        for wid in range(len(rt.workers)):
+            _route_flows(
+                rt, wid, merged[wid]["flows"], metrics, fanout_form
+            )
+    pool.note_merge(perf_counter() - merge_start)
+
+    finalize_superstep_metrics(
+        rt, metrics, in_mech, out_mech,
+        disk_before, spilled_before,
+        updates_of, msgs_gen_of, edges_of, spill_read_of,
+        pull_memory_of,
+    )
+    return metrics
+
+
+def _parallel_gather_batched(
+    rt, pool, metrics, superstep, aggregates_now,
+    msgs_gen_of, edges_of, pull_memory_of,
+) -> Dict[int, Dict[int, List[Any]]]:
+    """Pull-Request/Pull-Respond with the triple scans on the pool.
+
+    Children scan their owned responders' Eblocks in any order (the
+    scans are independent: they read pre-superstep values and flags);
+    the coordinator then replays the canonical sequential triple loop —
+    requester ascending, its blocks in ``local_blocks`` order, responder
+    ascending, ``send_request`` for every triple — looking up each
+    triple's pre-computed contribution, so the network's flow order, the
+    inbox append order, and both buffer peaks match the sequential
+    gather exactly.
+    """
+    cfg = rt.config
+    combinable = rt.program.combinable and cfg.bpull_combine
+    resp_bytes = bytes(rt.resp_prev.data)
+    replies = pool.run_round("gather", [
+        ("gather", superstep, aggregates_now, resp_bytes)
+        for _shard in pool.shards
+    ])
+    merge_start = perf_counter()
+    triples: Dict[Tuple[int, int, int], Any] = {}
+    stats: Dict[int, tuple] = {}
+    disks: Dict[int, Any] = {}
+    for reply in replies:
+        triples.update(reply["triples"])
+        stats.update(reply["stats"])
+        disks.update(reply["disk"])
+
+    inbox = _pull_inbox(rt)
+    send_buffer_peak = {w.worker_id: 0 for w in rt.workers}
+    recv_block_peak = {w.worker_id: 0 for w in rt.workers}
+    send_request = rt.network.send_request
+    transfer = rt.network.transfer
+    for requester in rt.workers:
+        rx = requester.worker_id
+        local_inbox = inbox[rx]
+        for block_id in requester.veblock.local_blocks:
+            block_received = 0
+            for responder in rt.workers:
+                ry = responder.worker_id
+                send_request(rx, ry)
+                got = triples.get((rx, block_id, ry))
+                if got is None:
+                    continue
+                items, nvalues, ngroups, nbytes, units = got
+                metrics.raw_messages += nvalues
+                msgs_gen_of[ry] += nvalues
+                if nbytes > send_buffer_peak[ry]:
+                    send_buffer_peak[ry] = nbytes
+                transfer(ry, rx, nbytes, units=units)
+                if ry != rx:
+                    metrics.mco += nvalues - ngroups
+                block_received += nbytes
+                if combinable:
+                    for dst, combined in items:
+                        if dst in local_inbox:
+                            local_inbox[dst].append(combined)
+                        else:
+                            local_inbox[dst] = [combined]
+                else:
+                    for dst, payloads in items:
+                        if dst in local_inbox:
+                            local_inbox[dst].extend(payloads)
+                        else:
+                            local_inbox[dst] = list(payloads)
+            if block_received > recv_block_peak[rx]:
+                recv_block_peak[rx] = block_received
+    for worker in rt.workers:
+        wid = worker.worker_id
+        edges_scanned, aux_bytes, edge_bytes, vrr_bytes = stats[wid]
+        metrics.edges_scanned += edges_scanned
+        edges_of[wid] += edges_scanned
+        metrics.io_fragments += aux_bytes
+        metrics.io_edges_bpull += edge_bytes
+        metrics.io_vrr += vrr_bytes
+        factor = 2 if cfg.prepull else 1
+        pull_memory_of[wid] += (
+            factor * recv_block_peak[wid] + send_buffer_peak[wid]
+        )
+        worker.disk.counters.add(disks[wid])
+    pool.note_merge(perf_counter() - merge_start)
+    return inbox
+
+
+def _superstep_vectorized(
+    rt, pool, superstep, in_mech, out_mech, mode_label
+) -> SuperstepMetrics:
+    """Coordinator for the vectorized tier.
+
+    Mirrors ``run_superstep_vectorized`` with the per-worker dense
+    update (and the gather's triple scans) on the pool; values and
+    responding flags travel through shared memory, staged message arrays
+    and metric shards through the pipes.
+    """
+    np = _vec.np
+    cfg = rt.config
+    sizes = cfg.sizes
+    ctx = rt.ctx
+    ctx.superstep = superstep
+    rt.network.begin_superstep(superstep)
+    metrics = SuperstepMetrics(superstep=superstep, mode=mode_label)
+    state = rt.scratch["vectorized"]
+
+    disk_before = {w.worker_id: w.disk.snapshot() for w in rt.workers}
+    spilled_before = {
+        w.worker_id: (
+            w.message_store.total_spilled if w.message_store else 0
+        )
+        for w in rt.workers
+    }
+    updates_of = {w.worker_id: 0 for w in rt.workers}
+    msgs_gen_of = {w.worker_id: 0 for w in rt.workers}
+    edges_of = {w.worker_id: 0 for w in rt.workers}
+    spill_read_of = {w.worker_id: 0 for w in rt.workers}
+    pull_memory_of = {w.worker_id: 0 for w in rt.workers}
+
+    pushing = out_mech == "push"
+    aggregates_now = dict(ctx.aggregates)
+    num_vertices = rt.graph.num_vertices
+    combine = state.rules.combine
+
+    received = None
+    acc_global = None
+    if in_mech == "pull":
+        if superstep > 1:
+            received, acc_global = _parallel_gather_vectorized(
+                rt, pool, metrics, superstep, aggregates_now,
+                msgs_gen_of, edges_of, pull_memory_of,
+            )
+    else:
+        chunk_dsts: List[Any] = []
+        chunk_payloads: List[Any] = []
+        for worker in rt.workers:
+            if worker.message_store is None:
+                raise RuntimeError(
+                    f"mode {mode_label} needs a message store on "
+                    f"worker {worker.worker_id}"
+                )
+            dsts, payloads, spilled_read, spilled_count = (
+                worker.message_store.load_arrays()
+            )
+            metrics.io_message_read += spilled_read
+            spill_read_of[worker.worker_id] = spilled_count
+            if dsts is not None:
+                chunk_dsts.append(dsts)
+                chunk_payloads.append(payloads)
+        if chunk_dsts:
+            if len(chunk_dsts) == 1:
+                dsts, payloads = chunk_dsts[0], chunk_payloads[0]
+            else:
+                dsts = np.concatenate(chunk_dsts)
+                payloads = np.concatenate(chunk_payloads)
+            received = np.zeros(num_vertices, dtype=bool)
+            received[dsts] = True
+            acc_global = _vec._fold(
+                dsts, payloads, num_vertices,
+                combine, state.identity, state.acc_dtype,
+            )
+
+    # Phase 2, one round: ship each worker's slice of the global fold;
+    # children write values/flags into shared memory.
+    pool.shared["resp_next"][:] = 0
+    if received is None:
+        payload_of_shard = [None] * len(pool.shards)
+    else:
+        payload_of_shard = [
+            {
+                wid: (
+                    received[state.workers[wid].local],
+                    acc_global[state.workers[wid].local],
+                )
+                for wid in shard
+            }
+            for shard in pool.shards
+        ]
+    replies = pool.run_round("phase2", [
+        ("phase2_vec", superstep, aggregates_now, pushing, payload)
+        for payload in payload_of_shard
+    ])
+    merge_start = perf_counter()
+    merged: Dict[int, Dict[str, Any]] = {}
+    for reply in replies:
+        merged.update(reply)
+
+    num_workers = len(rt.workers)
+    staged: List[List[Optional[Tuple[Any, Any]]]] = [None] * num_workers
+    total_respond = 0
+    for wid in range(num_workers):
+        shard = merged[wid]
+        _vec.apply_update_shard(
+            metrics, wid, shard, updates_of, msgs_gen_of, edges_of
+        )
+        staged[wid] = shard["staged"]
+        total_respond += shard["n_respond"]
+        rt.workers[wid].disk.counters.add(shard["disk"])
+    # flags: children flipped owned bytes of the shared segment in
+    # place; adopt them wholesale (the coordinator's buffer is clean
+    # after the engine's swap) and account the count.
+    rt.resp_next.data[:] = pool.shared["resp_next"].tobytes()
+    rt.resp_next.add_to_count(total_respond)
+
+    if pushing:
+        transfer = rt.network.transfer
+        for src_wid in range(num_workers):
+            per_src = staged[src_wid]
+            for dst_wid in range(num_workers):
+                pair = per_src[dst_wid]
+                if pair is None:
+                    continue
+                dsts, payloads = pair
+                count = len(dsts)
+                transfer(
+                    src_wid, dst_wid, sizes.messages(count),
+                    units=count,
+                )
+                rt.workers[dst_wid].message_store.deposit_arrays(
+                    dsts, payloads
+                )
+    pool.note_merge(perf_counter() - merge_start)
+
+    finalize_superstep_metrics(
+        rt, metrics, in_mech, out_mech,
+        disk_before, spilled_before,
+        updates_of, msgs_gen_of, edges_of, spill_read_of,
+        pull_memory_of,
+    )
+    rt.values[:] = state.values.tolist()
+    return metrics
+
+
+def _parallel_gather_vectorized(
+    rt, pool, metrics, superstep, aggregates_now,
+    msgs_gen_of, edges_of, pull_memory_of,
+):
+    """Dense Pull-Request/Pull-Respond with triple scans on the pool.
+
+    Same replay structure as the batched variant; the inbox stream is
+    rebuilt in canonical triple order from the shipped per-triple
+    (vertex ids, block-combined values) pairs, and the final global fold
+    happens here — bit-identical to ``_bpull_gather_vectorized``.
+    """
+    np = _vec.np
+    cfg = rt.config
+    state = rt.scratch["vectorized"]
+    pull = state.ensure_pull(rt)
+    resp_bytes = bytes(rt.resp_prev.data)
+    replies = pool.run_round("gather", [
+        ("gather_vec", superstep, aggregates_now, resp_bytes)
+        for _shard in pool.shards
+    ])
+    merge_start = perf_counter()
+    triples: Dict[Tuple[int, int, int], Any] = {}
+    stats: Dict[int, tuple] = {}
+    disks: Dict[int, Any] = {}
+    for reply in replies:
+        triples.update(reply["triples"])
+        stats.update(reply["stats"])
+        disks.update(reply["disk"])
+
+    send_buffer_peak = {w.worker_id: 0 for w in rt.workers}
+    recv_block_peak = {w.worker_id: 0 for w in rt.workers}
+    stream_dsts: List[Any] = []
+    stream_vals: List[Any] = []
+    send_request = rt.network.send_request
+    transfer = rt.network.transfer
+    for requester in rt.workers:
+        rx = requester.worker_id
+        for block_id in requester.veblock.local_blocks:
+            block_received = 0
+            for responder in rt.workers:
+                ry = responder.worker_id
+                send_request(rx, ry)
+                got = triples.get((rx, block_id, ry))
+                if got is None:
+                    continue
+                nvalues, ngroups, nbytes, got_vids, acc_vals = got
+                metrics.raw_messages += nvalues
+                msgs_gen_of[ry] += nvalues
+                if nbytes > send_buffer_peak[ry]:
+                    send_buffer_peak[ry] = nbytes
+                transfer(ry, rx, nbytes, units=ngroups)
+                if ry != rx:
+                    metrics.mco += nvalues - ngroups
+                block_received += nbytes
+                stream_dsts.append(got_vids)
+                stream_vals.append(acc_vals)
+            if block_received > recv_block_peak[rx]:
+                recv_block_peak[rx] = block_received
+
+    for worker in rt.workers:
+        wid = worker.worker_id
+        edges_scanned, aux_bytes, edge_bytes, vrr_bytes = stats[wid]
+        metrics.edges_scanned += edges_scanned
+        edges_of[wid] += edges_scanned
+        metrics.io_fragments += aux_bytes
+        metrics.io_edges_bpull += edge_bytes
+        metrics.io_vrr += vrr_bytes
+        factor = 2 if cfg.prepull else 1
+        pull_memory_of[wid] += (
+            factor * recv_block_peak[wid] + send_buffer_peak[wid]
+        )
+        worker.disk.counters.add(disks[wid])
+    pool.note_merge(perf_counter() - merge_start)
+
+    if not stream_dsts:
+        return None, None
+    if len(stream_dsts) == 1:
+        dsts, vals = stream_dsts[0], stream_vals[0]
+    else:
+        dsts = np.concatenate(stream_dsts)
+        vals = np.concatenate(stream_vals)
+    num_vertices = rt.graph.num_vertices
+    received = np.zeros(num_vertices, dtype=bool)
+    received[dsts] = True
+    acc_global = _vec._fold(
+        dsts, vals, num_vertices,
+        state.rules.combine, state.identity, state.acc_dtype,
+    )
+    return received, acc_global
+
+
+def _emit_pool_spans(rt, pool, metrics: SuperstepMetrics) -> None:
+    """Emit the superstep's real-concurrency spans (tracing only).
+
+    Unlike every other span in the trace, durations here are **wall
+    clock** seconds (the pool is the one place where host time is the
+    phenomenon being observed); they are drawn at the superstep's
+    modeled start so the tracks line up with the modeled spans.  Per
+    round: one ``process_busy`` + ``process_barrier`` span per pool
+    process and a ``merge`` span for the coordinator's fold.  Metrics
+    are untouched — traced parallel runs stay byte-identical.
+    """
+    tracer = rt.tracer
+    if not tracer.enabled:
+        return
+    start = tracer.clock
+    step = metrics.superstep
+    for label, round_wall, busy, merge_wall in pool.round_log:
+        for index, (shard, wall) in enumerate(
+            zip(pool.shards, busy)
+        ):
+            tracer.span(
+                "process_busy", cat=CAT_PARALLEL, start=start,
+                dur=wall, superstep=step, worker=shard[0],
+                args={
+                    "round": label, "process": index,
+                    "workers": list(shard), "wall_seconds": wall,
+                },
+            )
+            tracer.span(
+                "process_barrier", cat=CAT_PARALLEL,
+                start=start + wall,
+                dur=max(round_wall - wall, 0.0),
+                superstep=step, worker=shard[0],
+                args={"round": label, "process": index},
+            )
+        tracer.span(
+            "merge", cat=CAT_PARALLEL, start=start + round_wall,
+            dur=merge_wall, superstep=step,
+            args={"round": label, "wall_seconds": merge_wall},
+        )
+        start += round_wall + merge_wall

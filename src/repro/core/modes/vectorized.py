@@ -53,6 +53,9 @@ __all__ = [
     "fallback_reason",
     "run_superstep_vectorized",
     "VectorizedMessageStore",
+    "compute_worker_update",
+    "apply_update_shard",
+    "triple_contribution",
 ]
 
 #: dense combines the executor knows how to fold.
@@ -451,6 +454,301 @@ def _fold(dsts, payloads, size, combine, identity, dtype):
 
 
 # ----------------------------------------------------------------------
+# per-worker halves (shared with the parallel runtime)
+# ----------------------------------------------------------------------
+def compute_worker_update(
+    rt,
+    state: "_VecState",
+    worker,
+    superstep: int,
+    received_local,
+    acc_local,
+    pushing: bool,
+    resp_view,
+) -> Dict[str, Any]:
+    """Phase 2 for one worker: dense update + push staging.
+
+    Touches only *worker*-owned state — its slice of ``state.values``,
+    its disk, its vertices' bytes of *resp_view* — which is what lets
+    :mod:`repro.core.modes.parallel` run one call per process.  The
+    inputs ``received_local``/``acc_local`` are the worker's slices of
+    the global fold (``received[local]``/``acc_global[local]``; gathers
+    of a gather are bitwise identical to gathering ``targets``
+    directly).  The returned shard carries everything the caller must
+    fold into shared metrics (:func:`apply_update_shard`) plus the
+    staged per-destination message arrays.  Aggregator contributions
+    are shipped as per-vertex streams, never child-local partial sums:
+    the caller replays the sequential carry fold so the float grouping
+    matches the scalar executors.
+    """
+    program = rt.program
+    rules = state.rules
+    ctx = rt.ctx
+    sizes = rt.config.sizes
+    values = state.values
+    wid = worker.worker_id
+    wvec = state.workers[wid]
+    local = wvec.local
+    num_workers = len(rt.workers)
+    shard: Dict[str, Any] = {
+        "num_targets": 0,
+        "n_respond": 0,
+        "contrib": None,
+        "record_bytes": 0,
+        "raw_staged": 0,
+        "edges_scanned": 0,
+        "edge_bytes": 0,
+        "staged": [None] * num_workers,
+    }
+    if superstep == 1:
+        mask = state.initial_mask[local]
+        if received_local is not None:
+            mask = mask | received_local
+        tpos = np.flatnonzero(mask)
+        targets = local[tpos]
+    elif program.all_active:
+        tpos = None  # the whole worker slice
+        targets = local
+    else:
+        if received_local is None:
+            return shard
+        tpos = np.flatnonzero(received_local)
+        targets = local[tpos]
+    num_targets = len(targets)
+    shard["num_targets"] = num_targets
+    if num_targets == 0:
+        return shard
+
+    old_values = values[targets]
+    if acc_local is not None:
+        if tpos is None:
+            acc = acc_local
+            has_message = received_local
+        else:
+            acc = acc_local[tpos]
+            has_message = received_local[tpos]
+    else:
+        acc = np.full(
+            num_targets, state.identity, dtype=state.acc_dtype
+        )
+        has_message = np.zeros(num_targets, dtype=bool)
+    new_values, respond = rules.update_dense(
+        ctx, targets, old_values, acc, has_message, np
+    )
+    new_values = np.asarray(new_values, dtype=values.dtype)
+    values[targets] = new_values
+
+    contrib = rules.aggregate_dense(
+        ctx, targets, old_values, new_values, np
+    )
+    if contrib:
+        shard["contrib"] = {
+            agg_key: np.asarray(agg_vals, dtype=np.float64)
+            for agg_key, agg_vals in contrib.items()
+        }
+
+    if isinstance(respond, np.ndarray):
+        rmask = respond.astype(bool, copy=False)
+        resp_targets = targets[rmask]
+        resp_pos = (
+            tpos[rmask] if tpos is not None
+            else np.flatnonzero(rmask)
+        )
+    elif respond:
+        resp_targets = targets
+        resp_pos = (
+            tpos if tpos is not None
+            else np.arange(num_targets, dtype=np.int64)
+        )
+    else:
+        resp_targets = targets[:0]
+        resp_pos = np.zeros(0, dtype=np.int64)
+    num_respond = len(resp_targets)
+    shard["n_respond"] = num_respond
+    if num_respond:
+        # 0 -> 1 flips only (each vertex is targeted once), reported
+        # through add_to_count — the FlagBitset hot-path discipline.
+        resp_view[resp_targets] = 1
+        rt.resp_next.add_to_count(num_respond)
+
+    # IO(V_t): one aggregated read+write charge per worker.
+    record_bytes = num_targets * sizes.vertex_record
+    shard["record_bytes"] = record_bytes
+    worker.disk.charge(
+        seq_read=record_bytes, seq_write=record_bytes
+    )
+
+    if not (pushing and num_respond):
+        return shard
+
+    # IO(E_t): whole adjacency blocks touched by responding vertices.
+    blocks = np.unique(resp_pos // state.bv)
+    edge_bytes = int(wvec.block_bytes[blocks].sum())
+    shard["edges_scanned"] = int(wvec.block_edges[blocks].sum())
+    shard["edge_bytes"] = edge_bytes
+    worker.disk.charge(seq_read=edge_bytes)
+
+    if program.uniform_messages:
+        payloads, valid = rules.source_payloads(
+            ctx, values[resp_targets], wvec.deg[resp_pos], np
+        )
+        stage_mask = wvec.deg[resp_pos] > 0
+        if valid is not None:
+            stage_mask = stage_mask & valid
+        rows = resp_pos[stage_mask]
+        if len(rows) == 0:
+            return shard
+        counts = wvec.deg[rows]
+        flat = _row_gather(wvec.indptr, rows, counts)
+        dsts = wvec.e_dst[flat]
+        owners = wvec.e_owner[flat]
+        edge_payloads = np.repeat(payloads[stage_mask], counts)
+        raw_staged = int(counts.sum())
+    else:
+        counts = wvec.deg[resp_pos]
+        flat = _row_gather(wvec.indptr, resp_pos, counts)
+        sources = wvec.e_src[flat]
+        dsts = wvec.e_dst[flat]
+        owners = wvec.e_owner[flat]
+        edge_payloads, valid = rules.edge_payloads(
+            ctx, values, sources, wvec.e_w[flat], np
+        )
+        if valid is not None:
+            dsts = dsts[valid]
+            owners = owners[valid]
+            edge_payloads = edge_payloads[valid]
+        raw_staged = len(dsts)
+        if raw_staged == 0:
+            return shard
+    shard["raw_staged"] = raw_staged
+    per_src = shard["staged"]
+    for dst_wid in range(num_workers):
+        flow = owners == dst_wid
+        if flow.any():
+            per_src[dst_wid] = (dsts[flow], edge_payloads[flow])
+    return shard
+
+
+def apply_update_shard(
+    metrics: SuperstepMetrics,
+    wid: int,
+    shard: Dict[str, Any],
+    updates_of: Dict[int, int],
+    msgs_gen_of: Dict[int, int],
+    edges_of: Dict[int, int],
+) -> None:
+    """Fold one worker's update shard into shared metrics.
+
+    Every field here is either an order-independent integer sum or the
+    aggregator carry fold, which the caller invokes in worker-id order
+    (sequential loop or the parallel merge phase alike).
+    """
+    updates_of[wid] = shard["num_targets"]
+    contrib = shard["contrib"]
+    if contrib:
+        aggregates = metrics.aggregates
+        for agg_key, arr in contrib.items():
+            # Carry the running total through the same sequential
+            # left fold the scalar loop performs — folding the
+            # contributions first and adding once would change the
+            # float grouping.
+            carry = np.zeros(1, dtype=np.float64)
+            carry[0] = aggregates.get(agg_key, 0.0)
+            np.add.at(
+                carry, np.zeros(len(arr), dtype=np.intp), arr
+            )
+            aggregates[agg_key] = float(carry[0])
+    metrics.io_vertex += 2 * shard["record_bytes"]
+    raw_staged = shard["raw_staged"]
+    msgs_gen_of[wid] += raw_staged
+    metrics.raw_messages += raw_staged
+    edges_of[wid] += shard["edges_scanned"]
+    metrics.edges_scanned += shard["edges_scanned"]
+    metrics.io_edges_push += shard["edge_bytes"]
+
+
+def triple_contribution(
+    rt,
+    state: "_VecState",
+    responder,
+    bundle: "_TripleBundle",
+    block_size: int,
+    block_res,
+    resp_bool,
+    payload_all,
+    payload_valid,
+    stats: List[int],
+):
+    """Scan one (requested Vblock, responder) triple.
+
+    Charges the responder's disk and scan *stats* (order-independent
+    sums) and returns ``None`` when nothing responds, else
+    ``(nvalues, ngroups, nbytes, got, acc_block)`` — the block-local
+    combine the caller transfers and appends to the inbox stream.  Pass
+    ``payload_all=None`` for non-uniform programs.
+    """
+    sizes = rt.config.sizes
+    rules = state.rules
+    values = state.values
+    scanned = block_res[bundle.p_src_block]
+    if not scanned.any():
+        return None
+    seq_bytes = int(bundle.p_disk[scanned].sum())
+    stats[0] += int(bundle.p_nedge[scanned].sum())
+    stats[1] += int(bundle.p_aux[scanned].sum())
+    stats[2] += int(bundle.p_ebytes[scanned].sum())
+    if seq_bytes:
+        responder.disk.charge(seq_read=seq_bytes)
+    # responding fragments pay IO(V_rr) even when their
+    # payload turns out invalid (scalar order: charge
+    # precedes the payload check).
+    frag_mask = (
+        block_res[bundle.f_src_block]
+        & resp_bool[bundle.f_sv]
+    )
+    frag_count = int(frag_mask.sum())
+    if frag_count:
+        vrr_bytes = frag_count * sizes.vertex_value
+        responder.disk.charge(random_read=vrr_bytes)
+        stats[3] += vrr_bytes
+    edge_mask = (
+        block_res[bundle.e_src_block]
+        & resp_bool[bundle.e_sv]
+    )
+    if payload_all is not None:
+        if payload_valid is not None:
+            edge_mask &= payload_valid[bundle.e_sv]
+        if not edge_mask.any():
+            return None
+        positions = bundle.e_pos[edge_mask]
+        payloads = payload_all[bundle.e_sv[edge_mask]]
+    else:
+        if not edge_mask.any():
+            return None
+        payloads, valid = rules.edge_payloads(
+            rt.ctx, values,
+            bundle.e_sv[edge_mask],
+            bundle.e_w[edge_mask], np,
+        )
+        positions = bundle.e_pos[edge_mask]
+        if valid is not None:
+            payloads = payloads[valid]
+            positions = positions[valid]
+        if len(payloads) == 0:
+            return None
+    nvalues = len(positions)
+    got = np.zeros(block_size, dtype=bool)
+    got[positions] = True
+    acc_block = _fold(
+        positions, payloads, block_size,
+        rules.combine, state.identity, state.acc_dtype,
+    )
+    ngroups = int(got.sum())
+    nbytes = sizes.combined(ngroups)
+    return nvalues, ngroups, nbytes, got, acc_block
+
+
+# ----------------------------------------------------------------------
 # the superstep
 # ----------------------------------------------------------------------
 def run_superstep_vectorized(
@@ -547,149 +845,22 @@ def run_superstep_vectorized(
     # Phase 2: dense update; stage outgoing arrays if pushing.
     # ------------------------------------------------------------------
     resp_view = rt.resp_next.numpy_view(np)
-    vertex_record = sizes.vertex_record
-    aggregates = metrics.aggregates
     staged: List[List[Optional[Tuple[Any, Any]]]] = [
         [None] * num_workers for _ in range(num_workers)
     ]
     for worker in rt.workers:
         wid = worker.worker_id
-        wvec = state.workers[wid]
-        local = wvec.local
-        if superstep == 1:
-            mask = state.initial_mask[local]
-            if received is not None:
-                mask = mask | received[local]
-            tpos = np.flatnonzero(mask)
-            targets = local[tpos]
-        elif program.all_active:
-            tpos = None  # the whole worker slice
-            targets = local
-        else:
-            if received is None:
-                tpos = np.zeros(0, dtype=np.int64)
-                targets = local[:0]
-            else:
-                tpos = np.flatnonzero(received[local])
-                targets = local[tpos]
-        num_targets = len(targets)
-        updates_of[wid] = num_targets
-        if num_targets == 0:
-            continue
-
-        old_values = values[targets]
-        if acc_global is not None:
-            acc = acc_global[targets]
-            has_message = received[targets]
-        else:
-            acc = np.full(
-                num_targets, state.identity, dtype=state.acc_dtype
-            )
-            has_message = np.zeros(num_targets, dtype=bool)
-        new_values, respond = rules.update_dense(
-            ctx, targets, old_values, acc, has_message, np
+        local = state.workers[wid].local
+        shard = compute_worker_update(
+            rt, state, worker, superstep,
+            received[local] if received is not None else None,
+            acc_global[local] if acc_global is not None else None,
+            pushing, resp_view,
         )
-        new_values = np.asarray(new_values, dtype=values.dtype)
-        values[targets] = new_values
-
-        contrib = rules.aggregate_dense(
-            ctx, targets, old_values, new_values, np
+        apply_update_shard(
+            metrics, wid, shard, updates_of, msgs_gen_of, edges_of
         )
-        if contrib:
-            for agg_key, agg_vals in contrib.items():
-                # Carry the running total through the same sequential
-                # left fold the scalar loop performs — folding the
-                # contributions first and adding once would change the
-                # float grouping.
-                carry = np.zeros(1, dtype=np.float64)
-                carry[0] = aggregates.get(agg_key, 0.0)
-                arr = np.asarray(agg_vals, dtype=np.float64)
-                np.add.at(
-                    carry, np.zeros(len(arr), dtype=np.intp), arr
-                )
-                aggregates[agg_key] = float(carry[0])
-
-        if isinstance(respond, np.ndarray):
-            rmask = respond.astype(bool, copy=False)
-            resp_targets = targets[rmask]
-            resp_pos = (
-                tpos[rmask] if tpos is not None
-                else np.flatnonzero(rmask)
-            )
-        elif respond:
-            resp_targets = targets
-            resp_pos = (
-                tpos if tpos is not None
-                else np.arange(num_targets, dtype=np.int64)
-            )
-        else:
-            resp_targets = targets[:0]
-            resp_pos = np.zeros(0, dtype=np.int64)
-        num_respond = len(resp_targets)
-        if num_respond:
-            # 0 -> 1 flips only (each vertex is targeted once), reported
-            # through add_to_count — the FlagBitset hot-path discipline.
-            resp_view[resp_targets] = 1
-            rt.resp_next.add_to_count(num_respond)
-
-        # IO(V_t): one aggregated read+write charge per worker.
-        record_bytes = num_targets * vertex_record
-        worker.disk.charge(
-            seq_read=record_bytes, seq_write=record_bytes
-        )
-        metrics.io_vertex += 2 * record_bytes
-
-        if not (pushing and num_respond):
-            continue
-
-        # IO(E_t): whole adjacency blocks touched by responding vertices.
-        blocks = np.unique(resp_pos // state.bv)
-        edge_bytes = int(wvec.block_bytes[blocks].sum())
-        edges_scanned = int(wvec.block_edges[blocks].sum())
-        edges_of[wid] += edges_scanned
-        metrics.edges_scanned += edges_scanned
-        metrics.io_edges_push += edge_bytes
-        worker.disk.charge(seq_read=edge_bytes)
-
-        if uniform:
-            payloads, valid = rules.source_payloads(
-                ctx, values[resp_targets], wvec.deg[resp_pos], np
-            )
-            stage_mask = wvec.deg[resp_pos] > 0
-            if valid is not None:
-                stage_mask = stage_mask & valid
-            rows = resp_pos[stage_mask]
-            if len(rows) == 0:
-                continue
-            counts = wvec.deg[rows]
-            flat = _row_gather(wvec.indptr, rows, counts)
-            dsts = wvec.e_dst[flat]
-            owners = wvec.e_owner[flat]
-            edge_payloads = np.repeat(payloads[stage_mask], counts)
-            raw_staged = int(counts.sum())
-        else:
-            counts = wvec.deg[resp_pos]
-            flat = _row_gather(wvec.indptr, resp_pos, counts)
-            sources = wvec.e_src[flat]
-            dsts = wvec.e_dst[flat]
-            owners = wvec.e_owner[flat]
-            edge_payloads, valid = rules.edge_payloads(
-                ctx, values, sources, wvec.e_w[flat], np
-            )
-            if valid is not None:
-                dsts = dsts[valid]
-                owners = owners[valid]
-                edge_payloads = edge_payloads[valid]
-            raw_staged = len(dsts)
-            if raw_staged == 0:
-                continue
-        msgs_gen_of[wid] += raw_staged
-        metrics.raw_messages += raw_staged
-        per_src = staged[wid]
-        for dst_wid in range(num_workers):
-            flow = owners == dst_wid
-            if flow.any():
-                per_src[dst_wid] = (dsts[flow], edge_payloads[flow])
+        staged[wid] = shard["staged"]
 
     # ------------------------------------------------------------------
     # Phase 3: route staged arrays (same flow order as batched).
@@ -761,6 +932,7 @@ def _bpull_gather_vectorized(
         (bool(resp[vids].any()) for vids in pull.block_vids),
         dtype=bool, count=len(pull.block_vids),
     )
+    payload_all = payload_valid = None
     if uniform:
         # payloads depend only on the source's (pre-update) value, so
         # one dense evaluation replaces the scalar memoization.
@@ -776,7 +948,6 @@ def _bpull_gather_vectorized(
     stream_vals: List[Any] = []
     transfer = rt.network.transfer
     send_request = rt.network.send_request
-    vertex_value = sizes.vertex_value
 
     for requester in rt.workers:
         rx = requester.worker_id
@@ -790,62 +961,14 @@ def _bpull_gather_vectorized(
                 bundle = pull.by_dst[ry].get(block_id)
                 if bundle is None:
                     continue
-                scanned = block_res[bundle.p_src_block]
-                if not scanned.any():
+                result = triple_contribution(
+                    rt, state, responder, bundle, block_size,
+                    block_res, resp_bool, payload_all, payload_valid,
+                    scan_stats[ry],
+                )
+                if result is None:
                     continue
-                stats = scan_stats[ry]
-                seq_bytes = int(bundle.p_disk[scanned].sum())
-                stats[0] += int(bundle.p_nedge[scanned].sum())
-                stats[1] += int(bundle.p_aux[scanned].sum())
-                stats[2] += int(bundle.p_ebytes[scanned].sum())
-                if seq_bytes:
-                    responder.disk.charge(seq_read=seq_bytes)
-                # responding fragments pay IO(V_rr) even when their
-                # payload turns out invalid (scalar order: charge
-                # precedes the payload check).
-                frag_mask = (
-                    block_res[bundle.f_src_block]
-                    & resp_bool[bundle.f_sv]
-                )
-                frag_count = int(frag_mask.sum())
-                if frag_count:
-                    vrr_bytes = frag_count * vertex_value
-                    responder.disk.charge(random_read=vrr_bytes)
-                    stats[3] += vrr_bytes
-                edge_mask = (
-                    block_res[bundle.e_src_block]
-                    & resp_bool[bundle.e_sv]
-                )
-                if uniform:
-                    if payload_valid is not None:
-                        edge_mask &= payload_valid[bundle.e_sv]
-                    if not edge_mask.any():
-                        continue
-                    positions = bundle.e_pos[edge_mask]
-                    payloads = payload_all[bundle.e_sv[edge_mask]]
-                else:
-                    if not edge_mask.any():
-                        continue
-                    payloads, valid = rules.edge_payloads(
-                        ctx, values,
-                        bundle.e_sv[edge_mask],
-                        bundle.e_w[edge_mask], np,
-                    )
-                    positions = bundle.e_pos[edge_mask]
-                    if valid is not None:
-                        payloads = payloads[valid]
-                        positions = positions[valid]
-                    if len(payloads) == 0:
-                        continue
-                nvalues = len(positions)
-                got = np.zeros(block_size, dtype=bool)
-                got[positions] = True
-                acc_block = _fold(
-                    positions, payloads, block_size,
-                    combine, state.identity, state.acc_dtype,
-                )
-                ngroups = int(got.sum())
-                nbytes = sizes.combined(ngroups)
+                nvalues, ngroups, nbytes, got, acc_block = result
                 metrics.raw_messages += nvalues
                 msgs_gen_of[ry] += nvalues
                 if nbytes > send_buffer_peak[ry]:
