@@ -1,0 +1,154 @@
+"""Recovery trade-off: checkpoint interval vs rework after a crash.
+
+The classic fault-tolerance dial (Appendix A + docs/RESILIENCE.md): a
+short checkpoint interval pays snapshot writes every few supersteps but
+loses almost nothing to a crash; a long interval (or none — the
+paper's recompute-from-scratch policy) is free until the crash throws
+away most of the run.  This bench crashes disk-resident PageRank and
+SSSP about two thirds of the way through and sweeps
+``checkpoint_interval ∈ {None, 1, 2, 5}``, reporting modeled
+checkpoint cost, modeled rework, and their sum — all from the
+simulator's cost model, so the numbers are deterministic.
+
+Every cell asserts final values identical to the fault-free run (the
+recovery engine must never change the experiment), that rework shrinks
+monotonically as the interval tightens, and that checkpoint cost grows
+monotonically in return.  Results land in
+``benchmarks/results/BENCH_recovery.json``.
+"""
+
+import json
+
+from conftest import QUICK, emit, generated_graph, once
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.analysis.reporting import format_table
+from repro.core.config import FaultPlan, JobConfig
+from repro.core.engine import run_job
+from repro.datasets.generators import social_graph
+
+INTERVALS = (None, 1, 2, 5)
+NUM_VERTICES = 5_000 if QUICK else 20_000
+AVG_DEGREE = 10
+NUM_WORKERS = 5
+BUFFER = 1000
+PAGERANK_SUPERSTEPS = 12
+
+
+def _graph():
+    return generated_graph(
+        social_graph, NUM_VERTICES, avg_degree=AVG_DEGREE, seed=11
+    )
+
+
+def _base_cfg(**overrides):
+    return JobConfig(mode="hybrid", num_workers=NUM_WORKERS,
+                     message_buffer_per_worker=BUFFER, **overrides)
+
+
+def _sweep(program_key, program_factory, **cfg_kwargs):
+    """One program's interval sweep; returns its result record."""
+    graph = _graph()
+    clean = run_job(graph, program_factory(), _base_cfg(**cfg_kwargs))
+    total = len(clean.metrics.supersteps)
+    crash_at = max(2, (2 * total) // 3)
+    cells = []
+    for interval in INTERVALS:
+        result = run_job(graph, program_factory(), _base_cfg(
+            **cfg_kwargs,
+            checkpoint_interval=interval,
+            fault=FaultPlan(worker=1, superstep=crash_at),
+        ))
+        assert result.values == clean.values, (
+            f"{program_key} interval={interval}: recovery changed the "
+            f"result")
+        assert result.metrics.restarts == 1
+        (recovery,) = result.metrics.recoveries
+        checkpoint_seconds = result.metrics.checkpoint_seconds
+        rework_seconds = recovery["rework_seconds"]
+        cells.append({
+            "interval": interval,
+            "policy": recovery["policy"],
+            "resume_after": recovery["resume_after"],
+            "checkpoint_seconds": checkpoint_seconds,
+            "rework_supersteps": recovery["rework_supersteps"],
+            "rework_seconds": rework_seconds,
+            "overhead_seconds": checkpoint_seconds + rework_seconds,
+            "runtime_seconds": result.metrics.runtime_seconds,
+        })
+    # the provable ends of the trade-off (intermediate intervals are
+    # not totally ordered: floor((c-1)/i)*i is not monotone in i, so
+    # e.g. interval 5 can legitimately resume later than interval 2):
+    # interval 1 loses no work and pays the most snapshots; scratch
+    # (no interval) pays nothing and loses the most work.
+    by_interval = {c["interval"]: c for c in cells}
+    scratch = by_interval[None]
+    tightest = by_interval[1]
+    assert scratch["policy"] == "scratch"
+    assert scratch["checkpoint_seconds"] == 0.0
+    assert tightest["rework_seconds"] == 0.0, (
+        f"{program_key}: interval 1 must resume right before the crash")
+    for cell in cells:
+        assert cell["rework_seconds"] <= scratch["rework_seconds"], (
+            f"{program_key} interval={cell['interval']}: rework "
+            f"exceeds recompute-from-scratch")
+        assert (cell["checkpoint_seconds"]
+                <= tightest["checkpoint_seconds"]), (
+            f"{program_key} interval={cell['interval']}: snapshot "
+            f"cost exceeds the every-superstep interval")
+    assert scratch["rework_seconds"] > 0.0
+    return {
+        "program": program_key,
+        "clean_supersteps": total,
+        "crash_superstep": crash_at,
+        "clean_runtime_seconds": clean.metrics.runtime_seconds,
+        "cells": cells,
+    }
+
+
+def run_sweeps():
+    return [
+        _sweep("pagerank",
+               lambda: PageRank(supersteps=PAGERANK_SUPERSTEPS),
+               max_supersteps=PAGERANK_SUPERSTEPS),
+        _sweep("sssp", lambda: SSSP(source=0)),
+    ]
+
+
+def test_recovery_tradeoff(benchmark, results_dir):
+    records = once(benchmark, run_sweeps)
+    rows = []
+    for record in records:
+        for cell in record["cells"]:
+            rows.append([
+                record["program"],
+                "none" if cell["interval"] is None else cell["interval"],
+                cell["policy"],
+                cell["rework_supersteps"],
+                f"{cell['checkpoint_seconds']:.3f}",
+                f"{cell['rework_seconds']:.3f}",
+                f"{cell['overhead_seconds']:.3f}",
+            ])
+    emit("recovery", format_table(
+        ["program", "interval", "policy", "rework steps", "ckpt (s)",
+         "rework (s)", "overhead (s)"],
+        rows,
+        title=(f"Recovery trade-off: crash at ~2/3 of the run "
+               f"({NUM_VERTICES} vertices, deg {AVG_DEGREE}, "
+               f"{NUM_WORKERS} workers, buffer {BUFFER})"),
+    ))
+    payload = {
+        "config": {
+            "num_vertices": NUM_VERTICES,
+            "avg_degree": AVG_DEGREE,
+            "num_workers": NUM_WORKERS,
+            "message_buffer_per_worker": BUFFER,
+            "intervals": [i if i is not None else "none"
+                          for i in INTERVALS],
+            "quick": QUICK,
+        },
+        "sweeps": records,
+    }
+    (results_dir / "BENCH_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -25,7 +25,9 @@ from repro.core.config import (
     AMAZON_CLUSTER,
     ClusterProfile,
     CpuModel,
+    FAULT_KINDS,
     FaultPlan,
+    FaultSchedule,
     JobConfig,
     LOCAL_CLUSTER,
     MODES,
@@ -67,7 +69,9 @@ __all__ = [
     "DATASETS",
     "DEFAULT_SIZES",
     "DiskProfile",
+    "FAULT_KINDS",
     "FaultPlan",
+    "FaultSchedule",
     "GraphStats",
     "Graph",
     "HDD_PROFILE",

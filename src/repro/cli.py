@@ -13,6 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import re
 from typing import Optional
 
 from repro.algorithms.lpa import LPA
@@ -22,14 +23,77 @@ from repro.algorithms.sa import SA
 from repro.algorithms.sssp import SSSP
 from repro.algorithms.wcc import WCC
 from repro.analysis.reporting import fmt_bytes, fmt_seconds, print_table
-from repro.core.config import AMAZON_CLUSTER, JobConfig, LOCAL_CLUSTER, MODES
+from repro.core.config import (
+    AMAZON_CLUSTER,
+    FaultPlan,
+    FaultSchedule,
+    JobConfig,
+    LOCAL_CLUSTER,
+    MODES,
+)
 from repro.core.engine import run_job
 from repro.datasets.io import read_edge_list
 from repro.datasets.registry import DATASETS, dataset_names, get_dataset
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_fault_plan"]
 
 ALGORITHMS = ("pagerank", "sssp", "lpa", "sa", "wcc", "phased-bfs")
+
+#: CLI aliases for the fault kinds (``--fault-plan``).
+_FAULT_KIND_ALIASES = {
+    "crash": "crash",
+    "kill": "kill",
+    "straggler": "straggler",
+    "ckpt-write": "checkpoint_write",
+    "ckpt-corrupt": "checkpoint_corrupt",
+}
+
+_FAULT_SPEC = re.compile(
+    r"^(?P<kind>[a-z-]+)@(?P<superstep>\d+)"
+    r"(?::w(?P<worker>\d+))?"
+    r"(?:x(?P<factor>\d+(?:\.\d+)?))?"
+    r"(?:\*(?P<repeat>\d+))?$"
+)
+
+
+def parse_fault_plan(spec: str) -> tuple:
+    """Parse ``--fault-plan``: comma-separated ``kind@superstep`` entries.
+
+    Each entry is ``kind@superstep[:wWORKER][xFACTOR][*REPEAT]`` with
+    kind one of ``crash``, ``kill``, ``straggler``, ``ckpt-write``,
+    ``ckpt-corrupt``; e.g. ``crash@3:w1,straggler@2:w0x4,kill@5*2``.
+    Worker defaults to 0, factor to 4.0 (stragglers), repeat to 1.
+    """
+    plans = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        match = _FAULT_SPEC.match(entry)
+        if match is None:
+            raise argparse.ArgumentTypeError(
+                f"bad fault spec {entry!r}; expected "
+                f"kind@superstep[:wWORKER][xFACTOR][*REPEAT]"
+            )
+        kind = _FAULT_KIND_ALIASES.get(match.group("kind"))
+        if kind is None:
+            raise argparse.ArgumentTypeError(
+                f"unknown fault kind {match.group('kind')!r}; expected "
+                f"one of {sorted(_FAULT_KIND_ALIASES)}"
+            )
+        try:
+            plans.append(FaultPlan(
+                worker=int(match.group("worker") or 0),
+                superstep=int(match.group("superstep")),
+                kind=kind,
+                factor=float(match.group("factor") or 4.0),
+                repeat=int(match.group("repeat") or 1),
+            ))
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+    if not plans:
+        raise argparse.ArgumentTypeError("empty fault plan")
+    return tuple(plans)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +143,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "line, or a Chrome-trace/Perfetto document")
     parser.add_argument("--stats", action="store_true",
                         help="print graph statistics and exit (no job)")
+    resilience = parser.add_argument_group(
+        "resilience (docs/RESILIENCE.md)"
+    )
+    resilience.add_argument(
+        "--fault-plan", type=parse_fault_plan, default=None,
+        metavar="SPEC",
+        help="inject planned faults: comma-separated "
+             "kind@superstep[:wWORKER][xFACTOR][*REPEAT]; kinds: "
+             "crash, kill, straggler, ckpt-write, ckpt-corrupt "
+             "(e.g. 'crash@3:w1,straggler@2:w0x4')")
+    resilience.add_argument(
+        "--chaos-probability", type=float, default=0.0, metavar="P",
+        help="seeded chaos mode: per-superstep fault probability")
+    resilience.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="RNG seed for chaos mode (deterministic per seed)")
+    resilience.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="snapshot the iteration state every N supersteps")
+    resilience.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="persist snapshots durably under DIR "
+             "(versioned, checksummed, atomic)")
+    resilience.add_argument(
+        "--resume-from", metavar="DIR", default=None,
+        help="resume a killed job from the newest valid snapshot in DIR")
+    resilience.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="restarts attempted before giving up (default 3)")
+    resilience.add_argument(
+        "--restart-backoff", type=float, default=0.0, metavar="S",
+        help="modeled exponential-backoff base seconds per restart")
     return parser
 
 
@@ -123,6 +219,13 @@ def main(argv: Optional[list] = None) -> int:
         from repro.obs import TraceConfig
 
         trace = TraceConfig(out=args.trace_out, format=args.trace_format)
+    fault = None
+    if args.fault_plan or args.chaos_probability > 0.0:
+        fault = FaultSchedule(
+            faults=args.fault_plan or (),
+            chaos_probability=args.chaos_probability,
+            chaos_seed=args.chaos_seed,
+        )
     config = JobConfig(
         mode=args.mode,
         num_workers=workers,
@@ -134,6 +237,12 @@ def main(argv: Optional[list] = None) -> int:
         executor=args.executor,
         parallelism=args.parallelism,
         trace=trace,
+        fault=fault,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume_from,
+        max_restarts=args.max_restarts,
+        restart_backoff_seconds=args.restart_backoff,
     )
     program = _make_program(args)
     result = run_job(graph, program, config)
@@ -159,6 +268,31 @@ def main(argv: Optional[list] = None) -> int:
     print(f"disk I/O   : {fmt_bytes(metrics.compute_io_bytes)}   "
           f"network: {fmt_bytes(metrics.total_net_bytes)}   "
           f"messages: {metrics.total_messages:,}")
+    if metrics.resumed_from is not None:
+        print(f"resumed    : after superstep {metrics.resumed_from} "
+              f"({args.resume_from})")
+    if metrics.faults:
+        fired = ", ".join(
+            f"{f['kind']}@{f['superstep']}/w{f['worker']}"
+            for f in metrics.faults
+        )
+        print(f"faults     : {fired}")
+    if metrics.recoveries:
+        total = sum(
+            r["rework_seconds"] + r["downtime_seconds"]
+            for r in metrics.recoveries
+        )
+        mttr = total / len(metrics.recoveries)
+        policies = ", ".join(
+            f"{r['policy']}@{r['superstep']}"
+            for r in metrics.recoveries
+        )
+        print(f"recovery   : {metrics.restarts} restarts "
+              f"(MTTR {fmt_seconds(mttr)} modeled; {policies})")
+    if metrics.checkpoints:
+        print(f"checkpoints: {len(metrics.checkpoints)} taken "
+              f"({fmt_seconds(metrics.checkpoint_seconds)}; "
+              f"{len(metrics.checkpoint_failures)} failed)")
     if args.mode == "hybrid":
         switches = [m for m in metrics.mode_trace if "->" in m]
         print(f"mode trace : {switches or 'no switches'}")

@@ -28,7 +28,12 @@ from repro.core.runtime import Runtime
 from repro.obs.events import CAT_ENGINE
 from repro.storage.records import RecordSizes
 
-__all__ = ["Checkpoint", "take_checkpoint", "restore_checkpoint"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointLog",
+    "take_checkpoint",
+    "restore_checkpoint",
+]
 
 
 @dataclass
@@ -44,9 +49,45 @@ class Checkpoint:
     controller_state: Any = None
     #: modeled bytes written to persist this snapshot.
     nbytes: int = 0
+    #: aggregator totals published for the superstep after the snapshot.
+    aggregates: Dict[str, Any] = field(default_factory=dict)
 
     def write_seconds(self, seq_write_mbps: float) -> float:
         return self.nbytes / (seq_write_mbps * 1024.0 * 1024.0)
+
+
+class CheckpointLog:
+    """The coordinator's in-memory snapshot log: keep-last-K + validity.
+
+    Mirrors the durable store's retention and corruption semantics so
+    in-memory-only jobs exercise the same recovery policy: the newest
+    *valid* snapshot wins; a ``checkpoint_corrupt`` fault invalidates
+    the newest entry, pushing recovery to the previous one (or to
+    scratch).
+    """
+
+    def __init__(self, keep_last: int = 2) -> None:
+        self._keep_last = max(1, keep_last)
+        self._entries: List[List[Any]] = []  # [checkpoint, valid]
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        self._entries.append([checkpoint, True])
+        del self._entries[:-self._keep_last]
+
+    def corrupt_latest(self) -> Optional[int]:
+        """Invalidate the newest valid snapshot; returns its superstep."""
+        for entry in reversed(self._entries):
+            if entry[1]:
+                entry[1] = False
+                return entry[0].superstep
+        return None
+
+    def best(self) -> Optional[Checkpoint]:
+        """The newest valid snapshot, or None."""
+        for entry in reversed(self._entries):
+            if entry[1]:
+                return entry[0]
+        return None
 
 
 def _snapshot_bytes(rt: Runtime, sizes: RecordSizes) -> int:
@@ -79,6 +120,7 @@ def take_checkpoint(
         stores=stores,
         controller_state=copy.deepcopy(controller),
         nbytes=_snapshot_bytes(rt, rt.config.sizes),
+        aggregates=dict(rt.ctx.aggregates),
     )
     tracer = rt.tracer
     if tracer.enabled:
@@ -113,6 +155,10 @@ def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
     # the supersteps after the snapshot are discarded and re-executed;
     # their traffic samples must not survive into the timeline.
     rt.network.truncate_timeline(checkpoint.superstep)
+    # aggregator totals visible to the superstep after the snapshot —
+    # without this, aggregate-reading programs would resume against the
+    # failure-time totals instead of the checkpoint-time ones.
+    rt.ctx.aggregates = dict(checkpoint.aggregates)
     for worker in rt.workers:
         if worker.message_store is None:
             continue
@@ -121,4 +167,9 @@ def restore_checkpoint(rt: Runtime, checkpoint: Checkpoint) -> Any:
             worker.message_store.load()  # drain whatever is pending
         else:
             worker.message_store = copy.deepcopy(restored)
+            # the deep copy (or unpickle, for durable snapshots) carried
+            # a private clone of the worker's disk; rebind so post-restore
+            # spills charge the live one.
+            if hasattr(worker.message_store, "_disk"):
+                worker.message_store._disk = worker.disk
     return copy.deepcopy(checkpoint.controller_state)

@@ -1,0 +1,280 @@
+"""Durable checkpoint store: versioned, checksummed snapshot files.
+
+The engine's in-memory snapshots (:mod:`repro.cluster.checkpoint`) die
+with the coordinator.  This store serialises each
+:class:`~repro.cluster.checkpoint.Checkpoint` — optionally together
+with the :class:`~repro.core.metrics.JobMetrics` accumulated so far —
+to a file under a checkpoint directory, so a killed driver process can
+continue with ``run_job(..., JobConfig(resume_from=<dir>))``.
+
+File format (``ckpt-<superstep>.bin``)::
+
+    8 bytes   magic + format version      b"HGCKPT\\x00\\x01"
+    4 bytes   section count               big-endian u32
+    per section:
+        2 bytes   name length             big-endian u16
+        n bytes   section name            utf-8
+        8 bytes   payload length          big-endian u64
+        4 bytes   payload CRC32           big-endian u32
+        k bytes   payload
+
+Sections: ``meta`` (JSON: superstep, modeled nbytes), ``checkpoint``
+(pickled Checkpoint), and optionally ``metrics`` (pickled JobMetrics).
+Every payload carries its own CRC32, so corruption anywhere in the
+file — header, flipped payload bytes, truncation — is detected on
+load and the reader falls back to the previous file rather than
+crashing or resuming from bad state.
+
+Durability discipline: writes go to a temp file in the same directory,
+are fsync'd, then atomically renamed over the final name.  A crash
+mid-write leaves either the old file or no file — never a torn one.
+Retention keeps the newest ``keep_last`` files and unlinks the rest.
+
+The store is an *operational* layer: modeled checkpoint cost is charged
+by the engine exactly as for in-memory snapshots, and nothing here
+touches the cost model, so durable and in-memory runs stay
+byte-identical in ``JobMetrics``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.checkpoint import Checkpoint
+
+__all__ = ["CheckpointStore", "CorruptSnapshot", "RestoredSnapshot"]
+
+MAGIC = b"HGCKPT\x00\x01"
+_PREFIX = "ckpt-"
+_SUFFIX = ".bin"
+
+
+class CorruptSnapshot(Exception):
+    """A snapshot file failed validation (bad magic, CRC, truncation)."""
+
+
+@dataclass
+class RestoredSnapshot:
+    """A successfully validated snapshot, plus how we got to it."""
+
+    checkpoint: Checkpoint
+    metrics: Optional[Any]
+    path: Path
+    #: files that were skipped as corrupt/unreadable before this one.
+    skipped: List[str]
+
+
+def _pack_section(name: str, payload: bytes) -> bytes:
+    raw = name.encode("utf-8")
+    return b"".join([
+        struct.pack(">H", len(raw)), raw,
+        struct.pack(">Q", len(payload)),
+        struct.pack(">I", zlib.crc32(payload) & 0xFFFFFFFF),
+        payload,
+    ])
+
+
+def _read_exact(buf: io.BufferedIOBase, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise CorruptSnapshot(f"truncated: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+class CheckpointStore:
+    """Keep-last-K durable snapshots under one directory."""
+
+    def __init__(self, directory: str, keep_last: int = 2) -> None:
+        self.directory = Path(directory)
+        self.keep_last = max(1, keep_last)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: superstep -> path for files THIS instance wrote (or adopted
+        #: after a resume).  Retention, in-run recovery and chaos
+        #: corruption act only on owned files, so stale snapshots a
+        #: previous run left in the directory are never deleted,
+        #: restored from, or corrupted by the current run.
+        self._owned: Dict[int, Path] = {}
+
+    # Writing ----------------------------------------------------------
+    def save(self, checkpoint: Checkpoint,
+             metrics: Optional[Any] = None) -> Path:
+        """Atomically persist *checkpoint* (+ metrics) and apply retention.
+
+        Re-saving the same superstep (a checkpoint re-taken after a
+        restart rewound past it) atomically replaces the old file, which
+        also heals a previously corrupted snapshot of that superstep.
+        """
+        sections: Dict[str, bytes] = {
+            "meta": json.dumps({
+                "superstep": checkpoint.superstep,
+                "prev_mode": checkpoint.prev_mode,
+                "nbytes": checkpoint.nbytes,
+            }, sort_keys=True).encode("utf-8"),
+            "checkpoint": pickle.dumps(
+                checkpoint, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        }
+        if metrics is not None:
+            sections["metrics"] = pickle.dumps(
+                metrics, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        blob = MAGIC + struct.pack(">I", len(sections)) + b"".join(
+            _pack_section(name, payload)
+            for name, payload in sections.items()
+        )
+        final = self.directory / f"{_PREFIX}{checkpoint.superstep:08d}{_SUFFIX}"
+        tmp = final.with_name(final.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._owned[checkpoint.superstep] = final
+        self._apply_retention()
+        return final
+
+    def adopt(self, path: "Path | str") -> None:
+        """Claim a pre-existing snapshot file as this run's own.
+
+        Used after ``resume_from``: the snapshot the run restarted from
+        becomes part of its lineage, so a failure before the first new
+        save can still fall back to it through the owned-only path.
+        """
+        path = Path(path)
+        at = self._superstep_of(path)
+        if at is not None:
+            self._owned[at] = path
+
+    def _apply_retention(self) -> None:
+        owned = sorted(
+            (at, path) for at, path in self._owned.items() if path.exists()
+        )
+        for at, stale in owned[:-self.keep_last]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+            self._owned.pop(at, None)
+
+    # Reading ----------------------------------------------------------
+    def files(self) -> List[Path]:
+        """Snapshot files, oldest first (superstep order)."""
+        return sorted(
+            p for p in self.directory.glob(f"{_PREFIX}*{_SUFFIX}")
+            if p.is_file()
+        )
+
+    @staticmethod
+    def _superstep_of(path: Path) -> Optional[int]:
+        stem = path.name[len(_PREFIX):-len(_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError:
+            return None
+
+    def _load_file(self, path: Path) -> RestoredSnapshot:
+        with open(path, "rb") as handle:
+            if _read_exact(handle, len(MAGIC)) != MAGIC:
+                raise CorruptSnapshot("bad magic or unsupported version")
+            (count,) = struct.unpack(">I", _read_exact(handle, 4))
+            if count > 64:
+                raise CorruptSnapshot(f"implausible section count {count}")
+            sections: Dict[str, bytes] = {}
+            for _ in range(count):
+                (name_len,) = struct.unpack(">H", _read_exact(handle, 2))
+                name = _read_exact(handle, name_len).decode("utf-8")
+                (size,) = struct.unpack(">Q", _read_exact(handle, 8))
+                (crc,) = struct.unpack(">I", _read_exact(handle, 4))
+                payload = _read_exact(handle, size)
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    raise CorruptSnapshot(f"CRC mismatch in section {name!r}")
+                sections[name] = payload
+        if "checkpoint" not in sections:
+            raise CorruptSnapshot("missing checkpoint section")
+        try:
+            checkpoint = pickle.loads(sections["checkpoint"])
+            metrics = (
+                pickle.loads(sections["metrics"])
+                if "metrics" in sections else None
+            )
+        except Exception as exc:  # pickle corruption that passed CRC
+            raise CorruptSnapshot(f"unpicklable snapshot: {exc}") from exc
+        if not isinstance(checkpoint, Checkpoint):
+            raise CorruptSnapshot("checkpoint section is not a Checkpoint")
+        return RestoredSnapshot(
+            checkpoint=checkpoint, metrics=metrics, path=path, skipped=[]
+        )
+
+    def load_latest(
+        self,
+        max_superstep: Optional[int] = None,
+        owned_only: bool = False,
+    ) -> Optional[RestoredSnapshot]:
+        """Newest snapshot that validates, or None (never raises).
+
+        Walks newest → oldest; every corrupt/truncated/unreadable file
+        is skipped (and recorded in ``RestoredSnapshot.skipped``) — the
+        recovery policy's final fallback, recompute-from-scratch, is
+        signalled by returning None.
+
+        ``max_superstep`` bounds the search: files at a later superstep
+        (or with an unparsable name) are ignored, not merely skipped.
+        ``owned_only`` restricts the walk to files this instance wrote
+        or adopted.  In-run recovery uses both, so stale files left in
+        the directory by an earlier run can neither leap recovery
+        *forward* past the failure point nor shadow the current run's
+        own snapshots; ``resume_from`` reads unrestricted.
+        """
+        skipped: List[str] = []
+        for path in reversed(self.files()):
+            at = self._superstep_of(path)
+            if max_superstep is not None:
+                if at is None or at > max_superstep:
+                    continue
+            if owned_only and (at is None or self._owned.get(at) != path):
+                continue
+            try:
+                snapshot = self._load_file(path)
+            except (CorruptSnapshot, OSError) as exc:
+                skipped.append(f"{path.name}: {exc}")
+                continue
+            snapshot.skipped = skipped
+            return snapshot
+        return None
+
+    # Fault-injection hook --------------------------------------------
+    def corrupt_latest(self, owned_only: bool = False) -> Optional[Path]:
+        """Flip payload bytes of the newest *valid* file (chaos testing).
+
+        Mirrors :meth:`CheckpointLog.corrupt_latest` so the in-memory
+        and durable views of a ``checkpoint_corrupt`` fault agree on
+        which snapshot survives; the engine passes ``owned_only`` so a
+        chaos fault corrupts the current run's newest snapshot, never a
+        stale bystander file.
+        """
+        for path in reversed(self.files()):
+            if owned_only:
+                at = self._superstep_of(path)
+                if at is None or self._owned.get(at) != path:
+                    continue
+            try:
+                self._load_file(path)
+            except (CorruptSnapshot, OSError):
+                continue  # already corrupt; hit the previous valid one
+            data = bytearray(path.read_bytes())
+            # corrupt mid-payload, past the header, so the CRC check —
+            # not the frame parser — is what catches it.
+            pivot = max(len(MAGIC) + 4, len(data) // 2)
+            for offset in range(pivot, min(pivot + 8, len(data))):
+                data[offset] ^= 0xFF
+            path.write_bytes(bytes(data))
+            return path
+        return None

@@ -8,7 +8,7 @@ set of configs over a set of graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional
+from typing import Any, Optional, Tuple, Union
 
 from repro.storage.disk import DiskProfile, HDD_PROFILE, SSD_PROFILE
 from repro.storage.records import DEFAULT_SIZES, RecordSizes
@@ -18,7 +18,9 @@ __all__ = [
     "ClusterProfile",
     "LOCAL_CLUSTER",
     "AMAZON_CLUSTER",
+    "FAULT_KINDS",
     "FaultPlan",
+    "FaultSchedule",
     "JobConfig",
     "MODES",
 ]
@@ -80,16 +82,123 @@ AMAZON_CLUSTER = ClusterProfile(
 )
 
 
+#: Fault kinds understood by the injector (see ``docs/RESILIENCE.md``):
+#:
+#: * ``"crash"`` — the worker raises at the superstep barrier
+#:   (HybridGraph's baseline failure model, Appendix A);
+#: * ``"kill"`` — like crash, but under ``parallelism > 1`` the engine
+#:   SIGKILLs the child process owning the worker first, so recovery is
+#:   exercised against genuine OS-level death;
+#: * ``"straggler"`` — the worker's modeled seconds for that superstep
+#:   are inflated by ``factor`` (no restart; stretches the barrier);
+#: * ``"checkpoint_write"`` — the next snapshot attempt fails after
+#:   paying its modeled write cost (the snapshot is not retained);
+#: * ``"checkpoint_corrupt"`` — the newest retained snapshot (in memory
+#:   and on disk) is corrupted, forcing recovery to fall back to the
+#:   previous valid one, or to scratch.
+FAULT_KINDS = (
+    "crash",
+    "kill",
+    "straggler",
+    "checkpoint_write",
+    "checkpoint_corrupt",
+)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
-    """Inject a worker failure once, for fault-tolerance tests.
+    """One planned fault: *kind* fires at *superstep*, hitting *worker*.
 
-    HybridGraph's recovery policy is recompute-from-scratch (Appendix A);
-    the engine restarts the job when the failure fires.
+    ``repeat`` makes the fault fire again on re-execution of the same
+    superstep after a restart (up to ``repeat`` times total) — the
+    classic "fails again during recovery" scenario.  ``factor`` only
+    applies to ``kind="straggler"``.  The default kind reproduces the
+    original one-shot worker crash, so ``FaultPlan(worker, superstep)``
+    keeps its historical meaning.
     """
 
     worker: int
     superstep: int
+    kind: str = "crash"
+    factor: float = 4.0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if not isinstance(self.worker, int) or self.worker < 0:
+            raise ValueError(
+                f"fault worker must be an integer >= 0, got {self.worker!r}"
+            )
+        if not isinstance(self.superstep, int) or self.superstep < 1:
+            raise ValueError(
+                f"fault superstep must be an integer >= 1, got "
+                f"{self.superstep!r}"
+            )
+        if not self.factor > 0:
+            raise ValueError(f"straggler factor must be > 0, got {self.factor!r}")
+        if not isinstance(self.repeat, int) or self.repeat < 1:
+            raise ValueError(
+                f"fault repeat must be an integer >= 1, got {self.repeat!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Multiple planned faults plus a seeded probabilistic chaos mode.
+
+    ``faults`` fire deterministically (see :class:`FaultPlan`).  When
+    ``chaos_probability`` > 0, each superstep additionally draws from a
+    :class:`random.Random` seeded with ``chaos_seed`` — the RNG lives in
+    the injector, never in global state, so a given (schedule, job)
+    pair always produces the same fault sequence.  Chaos stops after
+    ``chaos_max_faults`` injected faults so seeded runs terminate.
+    """
+
+    faults: Tuple[FaultPlan, ...] = ()
+    chaos_probability: float = 0.0
+    chaos_seed: int = 0
+    chaos_kinds: Tuple[str, ...] = ("crash",)
+    chaos_max_faults: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "chaos_kinds", tuple(self.chaos_kinds))
+        for plan in self.faults:
+            if not isinstance(plan, FaultPlan):
+                raise ValueError(
+                    f"FaultSchedule.faults entries must be FaultPlan, "
+                    f"got {plan!r}"
+                )
+        if (
+            not isinstance(self.chaos_probability, (int, float))
+            or isinstance(self.chaos_probability, bool)
+            or not 0.0 <= self.chaos_probability <= 1.0
+        ):
+            raise ValueError(
+                f"chaos_probability must be within [0, 1], got "
+                f"{self.chaos_probability!r}"
+            )
+        if not self.chaos_kinds:
+            raise ValueError("chaos_kinds must not be empty")
+        for kind in self.chaos_kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown chaos fault kind {kind!r}; expected one of "
+                    f"{FAULT_KINDS}"
+                )
+        if not isinstance(self.chaos_max_faults, int) or self.chaos_max_faults < 0:
+            raise ValueError(
+                f"chaos_max_faults must be an integer >= 0, got "
+                f"{self.chaos_max_faults!r}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults and self.chaos_probability == 0.0
 
 
 @dataclass(frozen=True)
@@ -148,7 +257,10 @@ class JobConfig:
     lru_capacity_vertices: Optional[int] = None  # pull baseline; None -> B_i
     vertices_on_disk_for_pull: bool = True  # Table 5 ext-edge keeps them in memory
     fragment_clustering: bool = True  # ablation: False = one fragment per edge
-    fault: Optional[FaultPlan] = None
+    #: fault injection: a single :class:`FaultPlan` (one planned fault)
+    #: or a :class:`FaultSchedule` (multiple planned faults + seeded
+    #: chaos mode).  None disables injection.
+    fault: Optional[Union[FaultPlan, FaultSchedule]] = None
     #: superstep executor implementation.  ``"batched"`` (default) is the
     #: optimized hot path (aggregated disk charges, bitset flags, bucketed
     #: routing); ``"reference"`` is the per-vertex-accounting oracle in
@@ -176,6 +288,30 @@ class JobConfig:
     #: lightweight fault tolerance the paper leaves as future work
     #: (Appendix A).  None keeps the paper's recompute-from-scratch.
     checkpoint_interval: Optional[int] = None
+    #: restarts the recovery engine will attempt before re-raising the
+    #: :class:`~repro.cluster.fault.WorkerFailure` to the caller.
+    max_restarts: int = 3
+    #: modeled seconds charged to the clock before restart *n* as
+    #: ``backoff * 2**(n-1)`` (exponential backoff).  0.0 — the default —
+    #: restarts immediately, preserving historical runtimes.
+    restart_backoff_seconds: float = 0.0
+    #: directory for durable checkpoint files
+    #: (:mod:`repro.cluster.checkpoint_store`).  None keeps snapshots
+    #: in the coordinator's memory only.  The modeled write cost is
+    #: identical either way.
+    checkpoint_dir: Optional[str] = None
+    #: keep-last-K retention for snapshots (durable files and the
+    #: in-memory log); older snapshots are dropped.
+    checkpoint_keep: int = 2
+    #: resume a previously killed job from the newest valid snapshot in
+    #: this directory (implies durable checkpointing into it unless
+    #: ``checkpoint_dir`` points elsewhere).
+    resume_from: Optional[str] = None
+    #: real (wall-clock) seconds the coordinator waits on a pool child's
+    #: pipe before declaring it hung and re-forking the pool
+    #: (:mod:`repro.core.modes.parallel`).  Purely operational — never
+    #: part of the modeled experiment.
+    pool_round_timeout_seconds: float = 300.0
     #: observability (``repro.obs``): ``None``/``False`` — tracing off
     #: (the job shares the zero-overhead null tracer); ``True`` — record
     #: to an in-memory ring buffer, readable via ``JobResult.trace``; a
@@ -210,6 +346,33 @@ class JobConfig:
             raise ValueError(
                 f"parallelism must be an integer >= 1, got "
                 f"{self.parallelism!r}"
+            )
+        if self.fault is not None and not isinstance(
+            self.fault, (FaultPlan, FaultSchedule)
+        ):
+            raise ValueError(
+                f"fault must be a FaultPlan or FaultSchedule, got "
+                f"{self.fault!r}"
+            )
+        if not isinstance(self.max_restarts, int) or self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be an integer >= 0, got "
+                f"{self.max_restarts!r}"
+            )
+        if self.restart_backoff_seconds < 0:
+            raise ValueError(
+                f"restart_backoff_seconds must be >= 0, got "
+                f"{self.restart_backoff_seconds!r}"
+            )
+        if not isinstance(self.checkpoint_keep, int) or self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be an integer >= 1, got "
+                f"{self.checkpoint_keep!r}"
+            )
+        if not self.pool_round_timeout_seconds > 0:
+            raise ValueError(
+                f"pool_round_timeout_seconds must be > 0, got "
+                f"{self.pool_round_timeout_seconds!r}"
             )
 
     # Convenience -------------------------------------------------------

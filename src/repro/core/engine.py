@@ -32,19 +32,24 @@ from repro.core.config import JobConfig
 from repro.core.graph import Graph
 from repro.core.metrics import JobMetrics
 from repro.core.modes.common import run_superstep
-from repro.core.modes.parallel import run_superstep_parallel
+from repro.core.modes.parallel import (
+    kill_pool_worker,
+    run_superstep_parallel,
+)
 from repro.core.modes.pull import run_pull_superstep
 from repro.core.modes.reference import run_superstep_reference
 from repro.core.modes.vectorized import run_superstep_vectorized
 from repro.core.runtime import Runtime
 from repro.core.switching import FixedController, HybridController
-from repro.cluster.checkpoint import restore_checkpoint, take_checkpoint
+from repro.cluster.checkpoint import (
+    CheckpointLog,
+    restore_checkpoint,
+    take_checkpoint,
+)
 from repro.cluster.fault import FaultInjector, WorkerFailure
 from repro.obs.events import CAT_ENGINE
 
 __all__ = ["JobResult", "run_job"]
-
-_MAX_RESTARTS = 3
 
 
 @dataclass
@@ -77,7 +82,7 @@ def run_job(
     config = config or JobConfig()
     rt = Runtime(graph, program, config)
     rt.setup()
-    injector = FaultInjector(config.fault)
+    injector = FaultInjector(config.fault, config.num_workers)
     tracer = rt.tracer
     # run_job owns (and closes) tracers it built from a spec; a ready
     # Tracer instance passed in stays under the caller's control.
@@ -100,6 +105,7 @@ def run_job(
         program_name=program.name,
         num_workers=config.num_workers,
         load=rt.load_metrics,
+        max_restarts=config.max_restarts,
     )
     if rt.executor_fallback is not None:
         metrics.fallback = {
@@ -123,12 +129,57 @@ def run_job(
     restarts = 0
     start_superstep = 0
     prev_mode: Optional[str] = None
-    latest_checkpoint: List[Any] = [None]
+    ckpt_log = CheckpointLog(keep_last=config.checkpoint_keep)
+    store = None
+    store_dir = config.checkpoint_dir or config.resume_from
+    if store_dir is not None:
+        from repro.cluster.checkpoint_store import CheckpointStore
+
+        store = CheckpointStore(store_dir, keep_last=config.checkpoint_keep)
+
+    if config.resume_from is not None:
+        from repro.cluster.checkpoint_store import CheckpointStore
+
+        resume_store = (
+            store
+            if config.checkpoint_dir in (None, config.resume_from)
+            else CheckpointStore(
+                config.resume_from, keep_last=config.checkpoint_keep
+            )
+        )
+        snapshot = resume_store.load_latest()
+        if snapshot is not None:
+            checkpoint = snapshot.checkpoint
+            controller = restore_checkpoint(rt, checkpoint)
+            ckpt_log.add(checkpoint)
+            if resume_store is store:
+                # the resumed-from snapshot joins this run's lineage so
+                # a failure before the first new save can fall back to
+                # it through the owned-only recovery path.
+                store.adopt(snapshot.path)
+            if snapshot.metrics is not None:
+                # continue the original run's metrics wholesale; only
+                # the fields owned by *this* process are re-stamped.
+                restored = snapshot.metrics
+                restored.fallback = metrics.fallback
+                restored.max_restarts = config.max_restarts
+                metrics = restored
+            start_superstep = checkpoint.superstep
+            prev_mode = checkpoint.prev_mode
+            metrics.resumed_from = checkpoint.superstep
+            if tracer.enabled:
+                tracer.instant(
+                    "resume", cat=CAT_ENGINE,
+                    superstep=checkpoint.superstep,
+                    args={"path": str(snapshot.path),
+                          "skipped": list(snapshot.skipped)},
+                )
+
     try:
         while True:
             try:
                 _iterate(rt, controller, metrics, injector, start_superstep,
-                         prev_mode, latest_checkpoint)
+                         prev_mode, ckpt_log, store)
                 break
             except WorkerFailure as failure:
                 # the pool's processes hold pre-failure state; drop them
@@ -136,14 +187,53 @@ def run_job(
                 # from the restored coordinator.
                 rt.shutdown_pool()
                 restarts += 1
-                if restarts > _MAX_RESTARTS:
+                if restarts > config.max_restarts:
                     raise
                 if tracer.enabled:
                     tracer.instant(
                         "fault", cat=CAT_ENGINE, superstep=failure.superstep,
-                        worker=failure.worker, args={"restarts": restarts},
+                        worker=failure.worker,
+                        args={"restarts": restarts, "kind": failure.kind},
                     )
-                checkpoint = latest_checkpoint[0]
+                # pick the newest valid snapshot: the durable store when
+                # one is configured (real CRC validation, corrupt files
+                # skipped), else the in-memory log.  A checkpoint_corrupt
+                # fault invalidates both views of the same snapshot, so
+                # the two sources always agree on the fallback.  The
+                # durable search is owned-only and bounded by the failed
+                # superstep: stale files a previous run left in the
+                # directory can neither leap recovery forward past the
+                # failure nor shadow this run's own snapshots.
+                checkpoint = None
+                if store is not None:
+                    durable = store.load_latest(
+                        max_superstep=failure.superstep - 1,
+                        owned_only=True,
+                    )
+                    if durable is not None:
+                        checkpoint = durable.checkpoint
+                else:
+                    checkpoint = ckpt_log.best()
+                resume_after = checkpoint.superstep if checkpoint else 0
+                downtime = (
+                    config.restart_backoff_seconds * (2 ** (restarts - 1))
+                )
+                metrics.recoveries.append({
+                    "restart": restarts,
+                    "superstep": failure.superstep,
+                    "worker": failure.worker,
+                    "kind": failure.kind,
+                    "policy": "checkpoint" if checkpoint else "scratch",
+                    "resume_after": resume_after,
+                    "rework_supersteps":
+                        len(metrics.supersteps) - resume_after,
+                    "rework_seconds": sum(
+                        s.elapsed_seconds
+                        for s in metrics.supersteps[resume_after:]
+                    ),
+                    "downtime_seconds": downtime,
+                })
+                tracer.advance(downtime)
                 if checkpoint is not None:
                     # lightweight recovery: resume after the snapshot
                     controller = restore_checkpoint(rt, checkpoint)
@@ -156,7 +246,12 @@ def run_job(
                             "restart", cat=CAT_ENGINE,
                             superstep=checkpoint.superstep,
                             args={"policy": "checkpoint",
-                                  "resume_after": checkpoint.superstep},
+                                  "resume_after": checkpoint.superstep,
+                                  "restart": restarts,
+                                  "downtime_seconds": downtime,
+                                  "rework_seconds":
+                                      metrics.recoveries[-1]
+                                      ["rework_seconds"]},
                         )
                 else:
                     # the paper's policy: recompute from scratch
@@ -167,7 +262,12 @@ def run_job(
                     if tracer.enabled:
                         tracer.instant(
                             "restart", cat=CAT_ENGINE,
-                            args={"policy": "scratch"},
+                            args={"policy": "scratch",
+                                  "restart": restarts,
+                                  "downtime_seconds": downtime,
+                                  "rework_seconds":
+                                      metrics.recoveries[-1]
+                                      ["rework_seconds"]},
                         )
                     if config.mode == "hybrid":
                         controller = HybridController(
@@ -202,6 +302,10 @@ def _rewind_metrics(metrics: JobMetrics, superstep: int) -> None:
     metrics.checkpoints = [
         entry for entry in metrics.checkpoints if entry[0] <= superstep
     ]
+    metrics.checkpoint_failures = [
+        entry for entry in metrics.checkpoint_failures
+        if entry[0] <= superstep
+    ]
 
 
 def _reset_metrics(metrics: JobMetrics) -> None:
@@ -209,6 +313,113 @@ def _reset_metrics(metrics: JobMetrics) -> None:
     metrics.supersteps.clear()
     metrics.mode_trace.clear()
     metrics.checkpoints.clear()
+    metrics.checkpoint_failures.clear()
+
+
+def _inject_faults(
+    rt: Runtime,
+    injector: FaultInjector,
+    metrics: JobMetrics,
+    superstep: int,
+    ckpt_log: CheckpointLog,
+    store: Optional[Any] = None,
+) -> tuple:
+    """Evaluate the schedule at this superstep attempt and act on it.
+
+    Returns ``(straggler_factors, checkpoint_write_fails)``; checkpoint
+    corruption is applied to ``ckpt_log``/``store`` immediately, and
+    crash-class faults abort the attempt by raising
+    :class:`WorkerFailure` *after* every fault fired this superstep is
+    recorded and applied — so e.g. a checkpoint corruption scheduled
+    together with a kill lands before the restart and forces recovery
+    back to the previous valid snapshot.
+    """
+    fired = injector.fire(superstep)
+    if not fired:
+        return {}, False
+    tracer = rt.tracer
+    stragglers: dict = {}
+    ckpt_write_fails = False
+    crash = None
+    for fault in fired:
+        metrics.faults.append({
+            "superstep": fault.superstep,
+            "worker": fault.worker,
+            "kind": fault.kind,
+            "source": fault.source,
+            "factor": fault.factor,
+        })
+        if fault.kind == "straggler":
+            stragglers[fault.worker] = (
+                stragglers.get(fault.worker, 1.0) * fault.factor
+            )
+            if tracer.enabled:
+                tracer.instant(
+                    "fault", cat=CAT_ENGINE, superstep=superstep,
+                    worker=fault.worker,
+                    args={"kind": fault.kind, "source": fault.source,
+                          "factor": fault.factor},
+                )
+        elif fault.kind == "checkpoint_write":
+            ckpt_write_fails = True
+            if tracer.enabled:
+                tracer.instant(
+                    "fault", cat=CAT_ENGINE, superstep=superstep,
+                    worker=fault.worker,
+                    args={"kind": fault.kind, "source": fault.source},
+                )
+        elif fault.kind == "checkpoint_corrupt":
+            if tracer.enabled:
+                tracer.instant(
+                    "fault", cat=CAT_ENGINE, superstep=superstep,
+                    worker=fault.worker,
+                    args={"kind": fault.kind, "source": fault.source},
+                )
+            corrupted = ckpt_log.corrupt_latest()
+            if store is not None:
+                store.corrupt_latest(owned_only=True)
+            if tracer.enabled and corrupted is not None:
+                tracer.instant(
+                    "checkpoint_corrupted", cat=CAT_ENGINE,
+                    superstep=superstep,
+                    args={"snapshot_superstep": corrupted},
+                )
+        elif crash is None:  # crash | kill: first one wins
+            crash = fault
+    if crash is not None:
+        # the crash-class "fault" instant is emitted by run_job's
+        # recovery handler (it carries the restart counter).
+        if crash.kind == "kill" and rt.active_parallelism > 1:
+            # genuine OS-level death of the child owning the worker;
+            # raises WorkerFailure once the child is gone.
+            kill_pool_worker(rt, crash.worker, superstep)
+        raise WorkerFailure(crash.worker, superstep, kind=crash.kind)
+    return stragglers, ckpt_write_fails
+
+
+def _apply_stragglers(rt: Runtime, step, stragglers: dict) -> None:
+    """Inflate the afflicted workers' modeled seconds, then re-barrier.
+
+    Applied to the finished :class:`SuperstepMetrics` — after the
+    executor ran, before the engine advances the clock — so every
+    executor tier sees the identical inflation and stays
+    byte-identical.  The executor's trace spans keep their
+    pre-inflation durations; the stretch shows up as the gap before
+    the next superstep's spans (the straggler stall *is* dead time).
+    """
+    tracer = rt.tracer
+    for worker, factor in stragglers.items():
+        if worker in step.worker_seconds:
+            step.worker_seconds[worker] *= factor
+            if tracer.enabled:
+                tracer.instant(
+                    "straggler", cat=CAT_ENGINE,
+                    superstep=step.superstep, worker=worker,
+                    args={"factor": factor,
+                          "worker_seconds": step.worker_seconds[worker]},
+                )
+    if step.worker_seconds:
+        step.elapsed_seconds = max(step.worker_seconds.values())
 
 
 def _iterate(
@@ -218,17 +429,22 @@ def _iterate(
     injector: FaultInjector,
     start_superstep: int = 0,
     prev_mode: Optional[str] = None,
-    latest_checkpoint: Optional[List[Any]] = None,
+    ckpt_log: Optional[CheckpointLog] = None,
+    store: Optional[Any] = None,
 ) -> None:
     """The superstep loop, up to convergence or the superstep budget.
 
     ``start_superstep``/``prev_mode`` support resuming from a checkpoint;
-    ``latest_checkpoint`` is a one-slot holder updated in place whenever a
-    snapshot is taken, so the recovery path in :func:`run_job` can reach
-    the newest one even though the loop exits via an exception.
+    ``ckpt_log`` (the in-memory keep-last-K snapshot log) is updated in
+    place whenever a snapshot is taken, so the recovery path in
+    :func:`run_job` can reach the newest ones even though the loop exits
+    via an exception; ``store`` is the optional durable
+    :class:`~repro.cluster.checkpoint_store.CheckpointStore`.
     """
     config = rt.config
     tracer = rt.tracer
+    if ckpt_log is None:
+        ckpt_log = CheckpointLog(keep_last=config.checkpoint_keep)
     if config.executor == "reference":
         superstep_fn = run_superstep_reference
     elif rt.active_parallelism > 1:
@@ -244,7 +460,9 @@ def _iterate(
     superstep = start_superstep
     while superstep < rt.max_supersteps:
         superstep += 1
-        injector.check(superstep)
+        stragglers, ckpt_write_fails = _inject_faults(
+            rt, injector, metrics, superstep, ckpt_log, store
+        )
         mode = controller.mode_for(superstep)
         if mode == "pull":
             step = run_pull_superstep(rt, superstep)
@@ -260,6 +478,8 @@ def _iterate(
                         args={"from": prev_mode, "to": mode},
                     )
             step = superstep_fn(rt, superstep, in_mech, out_mech, label)
+        if stragglers:
+            _apply_stragglers(rt, step, stragglers)
         mode_label = step.mode
         if config.mode == "pushm":
             mode_label = step.mode = "pushm"
@@ -288,19 +508,37 @@ def _iterate(
         if stop:
             break
         if (
-            latest_checkpoint is not None
-            and config.checkpoint_interval is not None
+            config.checkpoint_interval is not None
             and superstep % config.checkpoint_interval == 0
             and superstep < rt.max_supersteps  # last superstep: pointless
         ):
             checkpoint = take_checkpoint(rt, superstep, mode, controller)
-            latest_checkpoint[0] = checkpoint
             write_seconds = checkpoint.write_seconds(
                 config.cluster.disk.seq_write_mbps
             )
-            metrics.checkpoints.append(
-                (superstep, checkpoint.nbytes, write_seconds)
-            )
+            if ckpt_write_fails:
+                # the write cost was paid, but no snapshot survives —
+                # recovery will have to reach further back.
+                metrics.checkpoint_failures.append(
+                    (superstep, checkpoint.nbytes, write_seconds)
+                )
+                if tracer.enabled:
+                    tracer.instant(
+                        "checkpoint_failed", cat=CAT_ENGINE,
+                        superstep=superstep,
+                        args={"nbytes": checkpoint.nbytes},
+                    )
+            else:
+                ckpt_log.add(checkpoint)
+                metrics.checkpoints.append(
+                    (superstep, checkpoint.nbytes, write_seconds)
+                )
+                if store is not None:
+                    # metrics are bundled so resume_from can continue
+                    # the original run's records seamlessly.  Modeled
+                    # cost is charged above regardless — durability is
+                    # operational, never part of the experiment.
+                    store.save(checkpoint, metrics)
             tracer.advance(write_seconds)
 
 

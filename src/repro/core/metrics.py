@@ -110,9 +110,30 @@ class JobMetrics:
     q_trace: List[Optional[float]] = field(default_factory=list)
     #: (superstep, bytes, modeled seconds) per checkpoint taken.
     checkpoints: List[tuple] = field(default_factory=list)
+    #: (superstep, bytes, modeled seconds) per *failed* checkpoint
+    #: attempt (``checkpoint_write`` faults): the write cost was paid
+    #: but no snapshot was retained.
+    checkpoint_failures: List[tuple] = field(default_factory=list)
     #: superstep the last recovery resumed after (None: no recovery or
     #: recompute-from-scratch).
     recovered_from: Optional[int] = None
+    #: restart budget the recovery engine ran with
+    #: (``JobConfig.max_restarts``).
+    max_restarts: int = 3
+    #: every fault the injector fired, in firing order — job-level
+    #: history, never trimmed by recovery rewinds:
+    #: ``{"superstep", "worker", "kind", "source", "factor"}``.
+    faults: List[Dict] = field(default_factory=list)
+    #: one record per restart the recovery engine performed:
+    #: ``{"restart", "superstep", "worker", "kind", "policy",
+    #: "resume_after", "rework_supersteps", "rework_seconds",
+    #: "downtime_seconds"}``.  ``policy`` is "checkpoint" or "scratch";
+    #: ``rework_*`` is the completed work discarded by the failure;
+    #: ``downtime_seconds`` the modeled backoff charged before the
+    #: restart.
+    recoveries: List[Dict] = field(default_factory=list)
+    #: superstep a ``resume_from`` run continued after (None: fresh run).
+    resumed_from: Optional[int] = None
     #: supersteps actually executed, including work discarded by
     #: failures — compare with num_supersteps to see recovery waste.
     executed_supersteps: int = 0
@@ -136,13 +157,21 @@ class JobMetrics:
 
     @property
     def checkpoint_seconds(self) -> float:
-        return sum(seconds for _t, _b, seconds in self.checkpoints)
+        """Modeled snapshot-write time, including failed attempts."""
+        return (sum(seconds for _t, _b, seconds in self.checkpoints)
+                + sum(seconds for _t, _b, seconds in self.checkpoint_failures))
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Modeled restart downtime (exponential backoff), all restarts."""
+        return sum(r["downtime_seconds"] for r in self.recoveries)
 
     @property
     def runtime_seconds(self) -> float:
-        """Modeled job runtime: loading + supersteps + checkpoints."""
+        """Modeled job runtime: loading + supersteps + checkpoints +
+        restart downtime."""
         return (self.load.elapsed_seconds + self.compute_seconds
-                + self.checkpoint_seconds)
+                + self.checkpoint_seconds + self.recovery_seconds)
 
     @property
     def total_io(self) -> IOCounters:
@@ -186,14 +215,21 @@ class JobMetrics:
             "program": self.program_name,
             "num_workers": self.num_workers,
             "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
             "recovered_from": self.recovered_from,
+            "resumed_from": self.resumed_from,
             "executed_supersteps": self.executed_supersteps,
+            "faults": [dict(f) for f in self.faults],
+            "recoveries": [dict(r) for r in self.recoveries],
             "load": {
                 "structures": self.load.structures,
                 "elapsed_seconds": self.load.elapsed_seconds,
                 "write_bytes": self.load.io.write,
             },
             "checkpoints": [list(c) for c in self.checkpoints],
+            "checkpoint_failures": [
+                list(c) for c in self.checkpoint_failures
+            ],
             "mode_trace": list(self.mode_trace),
             "q_trace": list(self.q_trace),
             "traffic_timeline": [list(t) for t in self.traffic_timeline],
@@ -261,4 +297,5 @@ class JobMetrics:
             "messages": self.total_messages,
             "peak_memory": self.peak_memory_bytes,
             "restarts": self.restarts,
+            "faults": len(self.faults),
         }

@@ -43,10 +43,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import traceback
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cluster.fault import WorkerFailure
 from repro.core.flags import FlagBitset
 from repro.core.metrics import SuperstepMetrics
 from repro.core.modes import vectorized as _vec
@@ -60,7 +62,11 @@ from repro.core.modes.common import (
 from repro.obs.events import CAT_PARALLEL
 from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["parallel_fallback_reason", "run_superstep_parallel"]
+__all__ = [
+    "parallel_fallback_reason",
+    "run_superstep_parallel",
+    "kill_pool_worker",
+]
 
 
 def parallel_fallback_reason(rt) -> Optional[str]:
@@ -366,12 +372,33 @@ def _child_gather_vec(
 # ----------------------------------------------------------------------
 # the pool
 # ----------------------------------------------------------------------
+class _PoolRoundError(Exception):
+    """A pool child died or hung during a barrier round (internal)."""
+
+    def __init__(self, shard_index: int, reason: str) -> None:
+        super().__init__(reason)
+        self.shard_index = shard_index
+        self.reason = reason
+
+
 class _ParallelPool:
     """Persistent fork-based worker pool, one pipe per process.
 
     Created lazily at the first parallel superstep (so checkpoint
     recovery re-forks from restored coordinator state) and kept warm
     until the engine calls ``Runtime.shutdown_pool``.
+
+    Failure policy (see ``docs/RESILIENCE.md``): every pipe read is
+    bounded by ``JobConfig.pool_round_timeout_seconds`` and paired with
+    a ``Process.is_alive()`` liveness check.  A dead or hung child
+    fails the round; :meth:`run_round` then kills the whole generation
+    of children, re-forks a fresh one from current coordinator state,
+    and retries the round exactly once before escalating to
+    :class:`~repro.cluster.fault.WorkerFailure`.  Rounds are safe to
+    replay: batched-tier children only *return* deltas, and for the
+    one round that writes in place (vectorized Phase 2, into the
+    shared value/flag segments) the coordinator snapshots those
+    segments first and restores them before the retry.
     """
 
     def __init__(self, rt) -> None:
@@ -385,6 +412,7 @@ class _ParallelPool:
             size = base + (1 if i < extra else 0)
             self.shards.append(list(range(start, start + size)))
             start += size
+        self._timeout = rt.config.pool_round_timeout_seconds
         self._segments: List[Any] = []
         self._restore_csr: Optional[Tuple[Any, Any]] = None
         self.shared: Dict[str, Any] = {}
@@ -395,20 +423,56 @@ class _ParallelPool:
         #: wall-clock observations of the current superstep's rounds:
         #: [label, round_wall, per-process busy walls, merge_wall]
         self.round_log: List[List[Any]] = []
-        ctx = multiprocessing.get_context("fork")
+        #: re-forks performed after child deaths/hangs (observability).
+        self.reforks: int = 0
         self.procs: List[Any] = []
         self.conns: List[Any] = []
+        self._spawn_children()
+
+    def _spawn_children(self) -> None:
+        """Fork one child per shard from current coordinator state."""
+        ctx = multiprocessing.get_context("fork")
+        self.procs = []
+        self.conns = []
         for shard in self.shards:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_child_main,
-                args=(rt, shard, child_conn, self.shared),
+                args=(self.rt, shard, child_conn, self.shared),
                 daemon=True,
             )
             proc.start()
             child_conn.close()
             self.procs.append(proc)
             self.conns.append(parent_conn)
+
+    def _terminate_children(self) -> None:
+        """SIGKILL the current generation and close its pipes."""
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.kill()
+        for proc in self.procs:
+            proc.join(timeout=10)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self.procs = []
+        self.conns = []
+
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL the child process owning simulated worker *worker*.
+
+        The fault-injection hook behind ``kind="kill"`` — real OS-level
+        death, detected by the next round's liveness check (or
+        immediately by :func:`kill_pool_worker`).
+        """
+        for shard, proc in zip(self.shards, self.procs):
+            if worker in shard and proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=10)
+                return
 
     # ------------------------------------------------------------------
     def _shm_array(self, arr):
@@ -465,14 +529,58 @@ class _ParallelPool:
 
     # ------------------------------------------------------------------
     def run_round(self, label: str, messages: List[tuple]) -> List[Any]:
-        """One barrier round: send per-process messages, await replies."""
+        """One barrier round, with one re-fork-and-retry on child death.
+
+        Raises :class:`~repro.cluster.fault.WorkerFailure` when the
+        retried round fails too — the engine's recovery policy takes
+        over from there.
+        """
+        snapshot = self._shared_write_snapshot(messages)
+        try:
+            return self._attempt_round(label, messages)
+        except _PoolRoundError as first:
+            self.reforks += 1
+            self._refork(snapshot)
+            try:
+                return self._attempt_round(label, messages)
+            except _PoolRoundError as second:
+                shard = self.shards[second.shard_index]
+                raise WorkerFailure(
+                    shard[0], self.rt.ctx.superstep, kind="kill"
+                ) from second
+
+    def _attempt_round(self, label: str, messages: List[tuple]) -> List[Any]:
         start = perf_counter()
-        for conn, msg in zip(self.conns, messages):
-            conn.send(msg)
+        for index, (conn, msg) in enumerate(zip(self.conns, messages)):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                raise _PoolRoundError(
+                    index, f"send failed ({exc}): child is dead"
+                )
         replies: List[Any] = []
         busy: List[float] = []
-        for conn in self.conns:
-            status, payload, wall = conn.recv()
+        for index, conn in enumerate(self.conns):
+            deadline = start + self._timeout
+            while not conn.poll(min(1.0, max(0.0, deadline - perf_counter()))):
+                if not self.procs[index].is_alive():
+                    raise _PoolRoundError(
+                        index,
+                        f"child died during {label} "
+                        f"(exitcode {self.procs[index].exitcode})",
+                    )
+                if perf_counter() >= deadline:
+                    raise _PoolRoundError(
+                        index,
+                        f"child hung during {label} "
+                        f"(> {self._timeout}s, still alive)",
+                    )
+            try:
+                status, payload, wall = conn.recv()
+            except (EOFError, OSError):
+                raise _PoolRoundError(
+                    index, f"pipe closed during {label}: child died"
+                )
             if status == "err":
                 raise RuntimeError(
                     f"parallel pool worker failed during {label}:\n"
@@ -484,6 +592,38 @@ class _ParallelPool:
             [label, perf_counter() - start, busy, 0.0]
         )
         return replies
+
+    def _shared_write_snapshot(self, messages: List[tuple]):
+        """Copy of the shared segments a round writes in place, or None.
+
+        Only the vectorized Phase 2 round mutates cross-process state
+        (owned slices of the shared value array and flag bytes); every
+        other round is pure from the coordinator's point of view, so a
+        retry needs no restoration.
+        """
+        if not messages or messages[0][0] != "phase2_vec":
+            return None
+        np = _vec.np
+        state = self.rt.scratch["vectorized"]
+        return (
+            np.array(state.values, copy=True),
+            np.array(self.shared["resp_next"], copy=True),
+        )
+
+    def _refork(self, snapshot) -> None:
+        """Replace the child generation; roll back shared writes first.
+
+        Restoring before the fork matters: the fresh children inherit
+        (and alias) the shared segments, so they must see the
+        pre-round bytes when they replay the round.
+        """
+        self._terminate_children()
+        if snapshot is not None:
+            values, resp = snapshot
+            state = self.rt.scratch["vectorized"]
+            state.values[:] = values
+            self.shared["resp_next"][:] = resp
+        self._spawn_children()
 
     def note_merge(self, seconds: float) -> None:
         """Attribute coordinator merge time to the last round."""
@@ -535,6 +675,33 @@ class _ParallelPool:
 # ----------------------------------------------------------------------
 # coordinator side
 # ----------------------------------------------------------------------
+def ensure_pool(rt) -> _ParallelPool:
+    """The job's pool, forking it on first use."""
+    pool = rt._pool
+    if pool is None:
+        pool = _ParallelPool(rt)
+        rt._pool = pool
+    return pool
+
+
+def kill_pool_worker(rt, worker: int, superstep: int) -> None:
+    """SIGKILL the pool child owning *worker*, then fail the superstep.
+
+    The engine's hook for planned ``kind="kill"`` faults under
+    ``parallelism > 1``: the child dies a genuine OS-level death (the
+    pool is forked first if the fault fires before any parallel
+    superstep ran), and the resulting :class:`WorkerFailure` routes
+    into the ordinary recovery policy.  Because the fault fires at the
+    superstep's start — before any round is in flight — no partial
+    state exists and recovery behaves exactly like a planned crash,
+    which is what keeps ``parallelism ∈ {1, N}`` byte-identical under
+    the same schedule.
+    """
+    pool = ensure_pool(rt)
+    pool.kill_worker(worker)
+    raise WorkerFailure(worker, superstep, kind="kill")
+
+
 def run_superstep_parallel(
     rt,
     superstep: int,
@@ -547,10 +714,7 @@ def run_superstep_parallel(
         raise ValueError(f"unknown input mechanism {in_mech!r}")
     if out_mech not in ("push", "flag"):
         raise ValueError(f"unknown output mechanism {out_mech!r}")
-    pool = rt._pool
-    if pool is None:
-        pool = _ParallelPool(rt)
-        rt._pool = pool
+    pool = ensure_pool(rt)
     pool.round_log = []
     if rt.active_executor == "vectorized":
         metrics = _superstep_vectorized(

@@ -283,6 +283,16 @@ class Runtime:
         """Build workers and their storage; account the loading phase."""
         cfg = self.config
         graph = self.graph
+        # planned faults name workers; the schedule cannot know the
+        # cluster size, so the bound is checked here.
+        from repro.cluster.fault import as_schedule
+
+        for plan in as_schedule(cfg.fault).faults:
+            if plan.worker >= cfg.num_workers:
+                raise ValueError(
+                    f"fault plan names worker {plan.worker}, but the "
+                    f"job runs {cfg.num_workers} workers"
+                )
         if self.needs_veblock():
             counts = []
             in_degrees = (

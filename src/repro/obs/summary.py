@@ -60,8 +60,13 @@ class TraceSummary:
     load_seconds: float = 0.0
     supersteps: List[SuperstepSummary] = field(default_factory=list)
     #: engine-level instants not tied to an executed superstep row
-    #: (faults, restarts, restores), as (name, superstep) pairs.
+    #: (faults, restarts, restores, resumes), as (name, superstep) pairs.
     incidents: List[Tuple[str, Optional[int]]] = field(default_factory=list)
+    #: MTTR-style recovery roll-up, present when the run restarted:
+    #: ``{"restarts", "faults", "downtime_seconds", "rework_seconds",
+    #: "mttr_seconds"}`` — mean time to repair = (downtime + rework) /
+    #: restarts, all in modeled seconds.
+    recovery: Optional[Dict[str, Any]] = None
 
     def rows(self) -> List[List[Any]]:
         def fmt(x: float) -> str:
@@ -94,6 +99,11 @@ class TraceSummary:
                 for name, step in self.incidents
             )
             title += f" — incidents: {names}"
+        if self.recovery is not None:
+            title += (
+                f" — {self.recovery['restarts']} restarts, "
+                f"MTTR {self.recovery['mttr_seconds']:.3f}s"
+            )
         return format_table(headers, self.rows(), title=title)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -101,6 +111,9 @@ class TraceSummary:
             "load_seconds": self.load_seconds,
             "supersteps": [s.to_dict() for s in self.supersteps],
             "incidents": [list(pair) for pair in self.incidents],
+            "recovery": (
+                dict(self.recovery) if self.recovery is not None else None
+            ),
         }
 
 
@@ -122,13 +135,23 @@ def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
     # further instants for it buffer in ``pending`` until re-execution.
     closed: set = set()
 
+    faults = 0
+    restarts = 0
+    downtime = 0.0
+    rework = 0.0
     for event in events:
         if event.name == "load_graph":
             out.load_seconds = event.dur
             continue
-        if event.name in ("fault", "restart", "restore"):
+        if event.name in ("fault", "restart", "restore", "resume"):
             out.incidents.append((event.name, event.superstep))
             closed.update(by_step)
+            if event.name == "fault":
+                faults += 1
+            elif event.name == "restart":
+                restarts += 1
+                downtime += event.args.get("downtime_seconds", 0.0)
+                rework += event.args.get("rework_seconds", 0.0)
             continue
         step = event.superstep
         if step is None:
@@ -167,4 +190,12 @@ def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
                 bucket[event.name] = bucket.get(event.name, 0) + 1
 
     out.supersteps = [by_step[k] for k in sorted(by_step)]
+    if restarts:
+        out.recovery = {
+            "restarts": restarts,
+            "faults": faults,
+            "downtime_seconds": downtime,
+            "rework_seconds": rework,
+            "mttr_seconds": (downtime + rework) / restarts,
+        }
     return out

@@ -1,0 +1,202 @@
+"""Durable checkpoint store: format, atomicity, retention, corruption."""
+
+import os
+
+import pytest
+
+from repro.cluster.checkpoint import Checkpoint
+from repro.cluster.checkpoint_store import (
+    CheckpointStore,
+    CorruptSnapshot,
+    MAGIC,
+)
+from repro.core.metrics import JobMetrics
+
+
+def _checkpoint(superstep, value=1.0):
+    return Checkpoint(
+        superstep=superstep,
+        prev_mode="push",
+        values=[value] * 8,
+        resp_prev=[True] * 8,
+        stores={},
+        controller_state=None,
+        nbytes=128,
+        aggregates={"sum": value * 8},
+    )
+
+
+def _metrics():
+    return JobMetrics(mode="push", num_workers=2, graph_name="g",
+                      program_name="PageRank")
+
+
+class TestRoundTrip:
+    def test_save_then_load_latest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save(_checkpoint(3, value=0.5), _metrics())
+        assert os.path.exists(path)
+        restored = store.load_latest()
+        assert restored is not None
+        assert restored.checkpoint.superstep == 3
+        assert restored.checkpoint.values == [0.5] * 8
+        assert restored.checkpoint.aggregates == {"sum": 4.0}
+        assert restored.metrics is not None
+        assert restored.metrics.mode == "push"
+        assert restored.path == path
+        assert restored.skipped == []
+
+    def test_metrics_section_is_optional(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(_checkpoint(1))
+        restored = store.load_latest()
+        assert restored.checkpoint.superstep == 1
+        assert restored.metrics is None
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load_latest() is None
+
+    def test_newest_snapshot_wins(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        for superstep in (2, 4, 6):
+            store.save(_checkpoint(superstep))
+        assert store.load_latest().checkpoint.superstep == 6
+
+    def test_max_superstep_bounds_the_search(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        for superstep in (2, 4, 6):
+            store.save(_checkpoint(superstep))
+        assert store.load_latest(max_superstep=5).checkpoint.superstep == 4
+        assert store.load_latest(max_superstep=4).checkpoint.superstep == 4
+        assert store.load_latest(max_superstep=1) is None
+        # out-of-bound files are ignored, not reported as skipped
+        assert store.load_latest(max_superstep=5).skipped == []
+
+    def test_max_superstep_ignores_unparsable_names(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(_checkpoint(2))
+        (tmp_path / "ckpt-garbage.bin").write_bytes(b"junk")
+        assert store.load_latest(max_superstep=9).checkpoint.superstep == 2
+
+    def test_owned_only_ignores_stale_files(self, tmp_path):
+        CheckpointStore(str(tmp_path), keep_last=3).save(_checkpoint(6))
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        assert store.load_latest(owned_only=True) is None
+        store.save(_checkpoint(2))
+        assert store.load_latest().checkpoint.superstep == 6
+        assert store.load_latest(
+            owned_only=True).checkpoint.superstep == 2
+
+    def test_adopt_claims_a_preexisting_file(self, tmp_path):
+        path = CheckpointStore(str(tmp_path)).save(_checkpoint(4))
+        store = CheckpointStore(str(tmp_path))
+        store.adopt(path)
+        assert store.load_latest(
+            owned_only=True).checkpoint.superstep == 4
+
+    def test_file_starts_with_magic(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save(_checkpoint(1))
+        with open(path, "rb") as fh:
+            assert fh.read(len(MAGIC)) == MAGIC
+
+
+class TestAtomicityAndRetention:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for superstep in (1, 2, 3):
+            store.save(_checkpoint(superstep))
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if not (name.startswith("ckpt-") and name.endswith(".bin"))
+        ]
+        assert leftovers == []
+
+    def test_keep_last_k_retention(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=2)
+        for superstep in range(1, 6):
+            store.save(_checkpoint(superstep))
+        names = [os.path.basename(p) for p in store.files()]
+        assert names == ["ckpt-00000004.bin", "ckpt-00000005.bin"]
+
+    def test_resaving_same_superstep_replaces(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=2)
+        store.save(_checkpoint(2, value=1.0))
+        store.save(_checkpoint(2, value=9.0))
+        assert len(store.files()) == 1
+        assert store.load_latest().checkpoint.values == [9.0] * 8
+
+    def test_retention_never_deletes_foreign_files(self, tmp_path):
+        # a previous run's snapshots must not count against keep_last,
+        # and must never be unlinked by a new run's retention.
+        CheckpointStore(str(tmp_path), keep_last=3).save(_checkpoint(8))
+        store = CheckpointStore(str(tmp_path), keep_last=1)
+        store.save(_checkpoint(1))
+        store.save(_checkpoint(2))
+        names = [os.path.basename(p) for p in store.files()]
+        assert names == ["ckpt-00000002.bin", "ckpt-00000008.bin"]
+
+    def test_corrupt_latest_owned_only_spares_stale_files(self, tmp_path):
+        CheckpointStore(str(tmp_path), keep_last=3).save(_checkpoint(8))
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        assert store.corrupt_latest(owned_only=True) is None
+        store.save(_checkpoint(2))
+        hit = store.corrupt_latest(owned_only=True)
+        assert hit is not None and hit.name == "ckpt-00000002.bin"
+        # the stale file is untouched and still loads
+        assert store.load_latest().checkpoint.superstep == 8
+
+
+class TestCorruptionFallback:
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        store.save(_checkpoint(2))
+        store.save(_checkpoint(4))
+        assert store.corrupt_latest() is not None
+        restored = store.load_latest()
+        assert restored.checkpoint.superstep == 2
+        assert len(restored.skipped) == 1
+        assert "ckpt-00000004.bin" in restored.skipped[0]
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        store.save(_checkpoint(2))
+        store.save(_checkpoint(4))
+        assert store.corrupt_latest() is not None
+        assert store.corrupt_latest() is not None
+        assert store.load_latest() is None
+
+    def test_truncated_file_falls_back(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        store.save(_checkpoint(2))
+        newest = store.save(_checkpoint(4))
+        size = os.path.getsize(newest)
+        with open(newest, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.load_latest().checkpoint.superstep == 2
+
+    def test_bad_magic_falls_back(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        store.save(_checkpoint(2))
+        newest = store.save(_checkpoint(4))
+        with open(newest, "r+b") as fh:
+            fh.write(b"NOTACKPT")
+        assert store.load_latest().checkpoint.superstep == 2
+
+    def test_empty_file_falls_back(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        store.save(_checkpoint(2))
+        newest = store.save(_checkpoint(4))
+        with open(newest, "wb"):
+            pass
+        assert store.load_latest().checkpoint.superstep == 2
+
+    def test_crc_mismatch_raises_on_direct_load(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save(_checkpoint(2))
+        store.corrupt_latest()
+        with pytest.raises(CorruptSnapshot):
+            store._load_file(path)
+
+    def test_corrupt_latest_on_empty_store_is_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).corrupt_latest() is None

@@ -1,10 +1,11 @@
 """CLI smoke and argument-handling tests."""
 
+import argparse
 import json
 
 import pytest
 
-from repro.cli import ALGORITHMS, build_parser, main
+from repro.cli import ALGORITHMS, build_parser, main, parse_fault_plan
 from repro.core.graph import Graph
 from repro.datasets.generators import social_graph
 from repro.datasets.io import write_edge_list
@@ -189,3 +190,74 @@ class TestTraceOut:
                  "--trace-out", str(tmp_path / "t"),
                  "--trace-format", "xml"]
             )
+
+
+class TestFaultPlanSpec:
+    def test_single_crash(self):
+        (plan,) = parse_fault_plan("crash@3:w1")
+        assert (plan.kind, plan.superstep, plan.worker) == ("crash", 3, 1)
+
+    def test_worker_defaults_to_zero(self):
+        (plan,) = parse_fault_plan("kill@2")
+        assert plan.worker == 0
+
+    def test_straggler_factor_and_repeat(self):
+        (plan,) = parse_fault_plan("straggler@4:w2x2.5*3")
+        assert plan.kind == "straggler"
+        assert plan.factor == 2.5
+        assert plan.repeat == 3
+
+    def test_checkpoint_kind_aliases(self):
+        plans = parse_fault_plan("ckpt-write@2,ckpt-corrupt@4")
+        assert [p.kind for p in plans] == [
+            "checkpoint_write", "checkpoint_corrupt",
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        "", "crash", "crash@", "meteor@3", "crash@0", "crash@3:w-1",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_fault_plan(bad)
+
+
+class TestResilienceFlags:
+    def test_fault_plan_run_reports_recovery(self, tiny_edge_list,
+                                             capsys):
+        rc = main(["--edge-list", tiny_edge_list,
+                   "--algorithm", "pagerank", "--mode", "push",
+                   "--workers", "2", "--buffer", "50",
+                   "--supersteps", "5",
+                   "--fault-plan", "crash@3:w1",
+                   "--checkpoint-interval", "2",
+                   "--restart-backoff", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "faults     : crash@3/w1" in out
+        assert "recovery   : 1 restarts" in out
+        assert "checkpoints:" in out
+
+    def test_chaos_flags_accepted(self, tiny_edge_list, capsys):
+        rc = main(["--edge-list", tiny_edge_list, "--mode", "push",
+                   "--workers", "2", "--buffer", "50",
+                   "--supersteps", "4",
+                   "--chaos-probability", "0.5",
+                   "--chaos-seed", "7",
+                   "--checkpoint-interval", "1"])
+        assert rc == 0
+
+    def test_checkpoint_dir_then_resume(self, tiny_edge_list, tmp_path,
+                                        capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        common = ["--edge-list", tiny_edge_list, "--mode", "push",
+                  "--workers", "2", "--buffer", "50",
+                  "--checkpoint-interval", "2"]
+        rc = main(common + ["--supersteps", "5",
+                            "--checkpoint-dir", ckpt_dir])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(common + ["--supersteps", "8",
+                            "--resume-from", ckpt_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed    : after superstep 4" in out

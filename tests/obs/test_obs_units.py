@@ -174,3 +174,44 @@ class TestSummarize:
         assert row.elapsed_seconds == 2.0  # the attempt that stuck
         assert ("fault", 2) in summary.incidents
         assert ("restart", None) in summary.incidents
+
+    def test_recovery_rollup_from_restart_instants(self):
+        def fault(ts, superstep):
+            return TraceEvent(name="fault", kind="instant", cat="engine",
+                              ts=ts, superstep=superstep)
+
+        def restart(ts, downtime, rework):
+            return TraceEvent(name="restart", kind="instant",
+                              cat="engine", ts=ts,
+                              args={"downtime_seconds": downtime,
+                                    "rework_seconds": rework})
+
+        events = [
+            span("superstep", 0.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+            fault(1.0, 2), restart(1.0, 10.0, 1.5),
+            span("superstep", 11.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+            fault(12.0, 2), restart(12.0, 20.0, 2.5),
+            span("superstep", 32.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+        ]
+        summary = summarize(events)
+        assert summary.recovery == {
+            "restarts": 2,
+            "faults": 2,
+            "downtime_seconds": pytest.approx(30.0),
+            "rework_seconds": pytest.approx(4.0),
+            "mttr_seconds": pytest.approx(17.0),
+        }
+        assert "2 restarts, MTTR 17.000s" in summary.table()
+        assert summary.to_dict()["recovery"]["restarts"] == 2
+
+    def test_no_restarts_no_recovery_rollup(self):
+        events = [
+            span("superstep", 0.0, 1.0, superstep=1,
+                 args={"mode": "push"}),
+        ]
+        summary = summarize(events)
+        assert summary.recovery is None
+        assert summary.to_dict()["recovery"] is None
